@@ -1,0 +1,37 @@
+"""Benchmark-suite configuration.
+
+Each ``test_eN_*.py`` regenerates one table/figure of the evaluation on
+reduced problem sizes and reports the simulator's wall-clock cost via
+pytest-benchmark; the experiment's *results* (normalized times, gap
+closures) are attached as benchmark extra_info so a benchmark run doubles
+as a results run.  ``test_micro_*`` benchmarks the hot primitives of the
+library itself.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def attach_metrics(benchmark, result, keys=None):
+    """Stash experiment metrics into the benchmark record."""
+    metrics = result.metrics
+    if keys is not None:
+        metrics = {k: v for k, v in metrics.items() if k in keys}
+    for k, v in metrics.items():
+        benchmark.extra_info[k] = round(float(v), 4)
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Run the target exactly once per round (experiments are seconds-long
+    deterministic simulations; statistical rounds add nothing)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

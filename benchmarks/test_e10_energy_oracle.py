@@ -1,0 +1,22 @@
+"""Bench E10: energy, endurance, fraction-of-oracle (extension)."""
+
+from conftest import attach_metrics
+
+from repro.experiments.e10_energy_oracle import run as run_e10
+
+WORKLOADS = ("cg", "heat", "sparselu")
+
+
+def test_e10_energy_oracle(bench_once, benchmark):
+    result = bench_once(run_e10, fast=True, workloads=WORKLOADS)
+    attach_metrics(benchmark, result)
+    m = result.metrics
+    for wl in WORKLOADS:
+        # within striking distance of the unrealizable static oracle
+        assert m[f"{wl}/oracle_fraction"] > 0.85
+        # migration write amplification stays small vs application writes
+        if m[f"{wl}/nvm_nvm_mib_written"] > 0:
+            assert (
+                m[f"{wl}/tahoe_nvm_mib_written"]
+                < m[f"{wl}/nvm_nvm_mib_written"] * 1.5
+            )

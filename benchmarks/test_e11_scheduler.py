@@ -1,0 +1,18 @@
+"""Bench E11: scheduling/placement co-design (extension)."""
+
+from conftest import attach_metrics
+
+from repro.experiments.e11_scheduler import run as run_e11
+
+WORKLOADS = ("cg", "sparselu")
+
+
+def test_e11_scheduler(bench_once, benchmark):
+    result = bench_once(run_e11, fast=True, workloads=WORKLOADS)
+    attach_metrics(benchmark, result)
+    m = result.metrics
+    for wl in WORKLOADS:
+        # memory-aware ordering never hurts the manager
+        assert m[f"{wl}/memory-aware"] <= m[f"{wl}/fifo"] + 0.02
+        # scheduling without placement recovers nothing vs placement
+        assert m[f"{wl}/memaware-nvmonly"] >= m[f"{wl}/memory-aware"] - 0.02

@@ -1,0 +1,18 @@
+"""Bench E1: regenerate the NVM/DRAM gap study (Figs. 2-3 analogue)."""
+
+from conftest import attach_metrics
+
+from repro.experiments.e1_gap import run as run_e1
+
+WORKLOADS = ("cg", "heat", "health", "cholesky")
+
+
+def test_e1_gap_study(bench_once, benchmark):
+    result = bench_once(run_e1, fast=True, workloads=WORKLOADS)
+    attach_metrics(benchmark, result)
+    # Shape: the paper's 1.09x-8.4x band, monotone axes.
+    for wl in WORKLOADS:
+        assert 0.95 <= result.metrics[f"{wl}/bw-0.5"] <= 9.0
+        assert result.metrics[f"{wl}/bw-0.125"] >= result.metrics[f"{wl}/bw-0.5"] - 0.02
+    assert result.metrics["heat/bw-0.5"] > 1.5          # bandwidth-sensitive
+    assert result.metrics["health/lat-4x"] > 1.4        # latency-sensitive

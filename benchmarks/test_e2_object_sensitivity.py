@@ -1,0 +1,16 @@
+"""Bench E2: per-object placement impact (Fig. 4 analogue)."""
+
+from conftest import attach_metrics
+
+from repro.experiments.e2_object_sensitivity import run as run_e2
+
+
+def test_e2_object_sensitivity(bench_once, benchmark):
+    result = bench_once(run_e2, fast=True)
+    attach_metrics(benchmark, result)
+    m = result.metrics
+    # matrix chunks: bandwidth-sensitive only
+    assert m["cg/a/bw"] < m["cg/none/bw"]
+    assert abs(m["cg/a/lat"] - m["cg/none/lat"]) < 0.08
+    # villages: latency-sensitive only
+    assert m["health/villages/lat"] < m["health/none/lat"] - 0.2

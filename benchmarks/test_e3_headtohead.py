@@ -1,0 +1,19 @@
+"""Bench E3: the headline head-to-head comparison (Figs. 9-10 analogue)."""
+
+from conftest import attach_metrics
+
+from repro.experiments.e3_headtohead import run as run_e3
+
+WORKLOADS = ("cg", "heat", "health", "nbody", "sparselu")
+
+
+def test_e3_headtohead(bench_once, benchmark):
+    result = bench_once(run_e3, fast=True, workloads=WORKLOADS)
+    attach_metrics(benchmark, result)
+    m = result.metrics
+    # Headline: substantial mean gap closure, never worse than NVM-only.
+    assert m["gap_closure/bw-1/2"] > 0.4
+    assert m["gap_closure/lat-4x"] > 0.4
+    for wl in WORKLOADS:
+        for cfg in ("bw-1/2", "lat-4x"):
+            assert m[f"{wl}/{cfg}/tahoe"] <= m[f"{wl}/{cfg}/nvm-only"] + 0.03

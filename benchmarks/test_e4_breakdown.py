@@ -1,0 +1,17 @@
+"""Bench E4: technique contribution breakdown (Fig. 11 analogue)."""
+
+from conftest import attach_metrics
+
+from repro.experiments.e4_breakdown import run as run_e4
+
+WORKLOADS = ("cg", "heat", "fft")
+
+
+def test_e4_breakdown(bench_once, benchmark):
+    result = bench_once(run_e4, fast=True, workloads=WORKLOADS)
+    attach_metrics(benchmark, result)
+    m = result.metrics
+    for wl in ("cg", "heat"):
+        assert m[f"{wl}/+initial"] < m[f"{wl}/nvm"]  # full stack wins
+    # partitioning is the FT-specific lever
+    assert m["fft/+partition"] <= m["fft/+local"] + 0.01

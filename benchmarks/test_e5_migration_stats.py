@@ -1,0 +1,14 @@
+"""Bench E5: migration statistics (Table 5 analogue)."""
+
+from conftest import attach_metrics
+
+from repro.experiments.e5_migration_stats import run as run_e5
+
+WORKLOADS = ("cg", "heat", "health", "sparselu")
+
+
+def test_e5_migration_stats(bench_once, benchmark):
+    result = bench_once(run_e5, fast=True, workloads=WORKLOADS)
+    attach_metrics(benchmark, result)
+    for wl in WORKLOADS:
+        assert result.metrics[f"{wl}/overhead_pct"] < 6.0  # "pure runtime cost"

@@ -1,0 +1,14 @@
+"""Bench E6: strong scaling (Fig. 12 analogue)."""
+
+from conftest import attach_metrics
+
+from repro.experiments.e6_scaling import run as run_e6
+
+
+def test_e6_scaling(bench_once, benchmark):
+    result = bench_once(run_e6, fast=True, workloads=("cg",))
+    attach_metrics(benchmark, result)
+    m = result.metrics
+    for w in (4, 8, 16):
+        assert m[f"cg/w{w}/tahoe"] <= m[f"cg/w{w}/nvm"] + 0.03
+    assert m["cg/w16/dram_makespan"] < m["cg/w4/dram_makespan"]

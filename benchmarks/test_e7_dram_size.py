@@ -1,0 +1,15 @@
+"""Bench E7: DRAM-size sensitivity (Fig. 13 analogue)."""
+
+from conftest import attach_metrics
+
+from repro.experiments.e7_dram_size import run as run_e7
+
+WORKLOADS = ("cg", "heat", "mg")
+
+
+def test_e7_dram_size(bench_once, benchmark):
+    result = bench_once(run_e7, fast=True, workloads=WORKLOADS)
+    attach_metrics(benchmark, result)
+    m = result.metrics
+    for wl in WORKLOADS:
+        assert m[f"{wl}/512MiB"] <= m[f"{wl}/128MiB"] + 0.05  # monotone-ish

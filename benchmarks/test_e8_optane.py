@@ -1,0 +1,20 @@
+"""Bench E8: Optane-PM study with/without read-write distinction (Fig. 14)."""
+
+from conftest import attach_metrics
+
+from repro.experiments.e8_optane import run as run_e8
+
+WORKLOADS = ("cg", "heat", "nbody")
+
+
+def test_e8_optane(bench_once, benchmark):
+    result = bench_once(run_e8, fast=True, workloads=WORKLOADS)
+    attach_metrics(benchmark, result)
+    m = result.metrics
+    for wl in WORKLOADS:
+        assert m[f"{wl}/nvm-only"] > 1.5          # Optane gap is large
+        assert m[f"{wl}/tahoe"] < m[f"{wl}/nvm-only"]
+    # read/write distinction helps on average (paper: ~12%)
+    avg_drw = sum(m[f"{wl}/tahoe"] for wl in WORKLOADS)
+    avg_nodrw = sum(m[f"{wl}/tahoe-nodrw"] for wl in WORKLOADS)
+    assert avg_drw <= avg_nodrw + 0.05

@@ -1,0 +1,17 @@
+"""Bench E9: design-choice ablations."""
+
+from conftest import attach_metrics
+
+from repro.experiments.e9_ablations import run as run_e9
+
+
+def test_e9_ablations(bench_once, benchmark):
+    result = bench_once(run_e9, fast=True)
+    attach_metrics(benchmark, result)
+    m = result.metrics
+    assert m["interval/100/overhead"] > m["interval/10000/overhead"]
+    assert m["solver/dp/health"] <= m["solver/greedy/health"] + 0.05
+    assert m["adaptation/on"] <= m["adaptation/off"] + 0.05
+    # both backlog settings must beat do-nothing on ReRAM by a wide margin
+    assert m["backlog/0.25s"] < 0.7 * m["backlog/nvm-only"]
+    assert m["backlog/unbounded"] < 0.7 * m["backlog/nvm-only"]

@@ -1,0 +1,81 @@
+"""Microbenchmarks of the library's hot primitives.
+
+These are classic pytest-benchmark targets (many fast iterations): the
+executor's event loop throughput, dependence inference, the knapsack DP,
+and the sampling profiler — the costs that bound how large a task program
+the simulator can handle.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import NVMOnlyPolicy
+from repro.core.knapsack import greedy_by_density, solve_knapsack
+from repro.core.manager import DataManagerPolicy
+from repro.memory.hms import HeterogeneousMemorySystem
+from repro.memory.presets import dram, nvm_bandwidth_scaled
+from repro.profiling.sampler import SamplingProfiler
+from repro.tasking.executor import Executor, ExecutorConfig
+from repro.util.rng import spawn_rng
+from repro.workloads import build
+
+
+def _machine():
+    return HeterogeneousMemorySystem(dram(), nvm_bandwidth_scaled(0.5))
+
+
+def test_bench_graph_construction(benchmark):
+    """Dependence inference throughput (tasks+edges per second)."""
+    w = benchmark(build, "cholesky", n_tiles=10)
+    assert w.n_tasks > 100
+
+
+def test_bench_executor_throughput_nvm_only(benchmark):
+    """Event-loop cost with a trivial policy (simulator overhead floor)."""
+    w = build("cholesky", n_tiles=10)
+
+    def run():
+        return Executor(_machine(), ExecutorConfig(n_workers=8)).run(
+            w.graph, NVMOnlyPolicy()
+        )
+
+    tr = benchmark(run)
+    assert len(tr.records) == w.n_tasks
+
+
+def test_bench_executor_with_data_manager(benchmark):
+    """Full manager in the loop: profiling + planning + enforcement."""
+    w = build("heat", grid=6, iterations=6)
+
+    def run():
+        return Executor(_machine(), ExecutorConfig(n_workers=8)).run(
+            w.graph, DataManagerPolicy()
+        )
+
+    tr = benchmark(run)
+    assert len(tr.records) == w.n_tasks
+
+
+def test_bench_knapsack_dp(benchmark):
+    rng = spawn_rng(1, "bench-knap")
+    n = 200
+    values = rng.uniform(0.1, 10.0, n).tolist()
+    sizes = (rng.integers(1, 64, n) * 2**20).tolist()
+    mask = benchmark(solve_knapsack, values, sizes, 256 * 2**20)
+    assert any(mask)
+
+
+def test_bench_knapsack_greedy(benchmark):
+    rng = spawn_rng(1, "bench-knap")
+    n = 200
+    values = rng.uniform(0.1, 10.0, n).tolist()
+    sizes = (rng.integers(1, 64, n) * 2**20).tolist()
+    mask = benchmark(greedy_by_density, values, sizes, 256 * 2**20)
+    assert any(mask)
+
+
+def test_bench_sampling_profiler(benchmark):
+    w = build("stream", n_tasks=2, iterations=1)
+    task = w.graph.tasks[0]
+    prof = SamplingProfiler(seed=3)
+    p = benchmark(prof.sample_task, task, 1e-3)
+    assert p.objects

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Adaptation demo: a workload whose hot set inverts mid-run.
+
+The ``phaseshift`` workload sweeps two lookup tables from a single task
+type: table A heavily and B lightly for the first half, then the regime
+inverts.  DRAM holds exactly one table, so there is a real decision to
+revisit.  The intensity change is invisible in task metadata — only
+re-profiling can catch it:
+
+- X-Mem decides once from whole-run offline counts (both tables look
+  equally hot on average — it can only split the difference);
+- the manager with adaptation OFF trusts its first profile and keeps
+  serving the stale table after the shift;
+- with adaptation ON, the per-iteration deviation of the task type blows
+  past the 10 % rule, the type is re-profiled, and the placement swaps —
+  the paper's workload-variation (Nek5000) scenario.
+
+Run:  python examples/adaptive_workload.py
+"""
+
+from repro.experiments.runner import run_workload
+from repro.memory.presets import nvm_bandwidth_scaled
+from repro.util.tables import Table
+from repro.util.units import MIB
+
+DRAM_CAP = 28 * MIB  # room for one 24 MiB table (plus scratch)
+
+
+def main() -> None:
+    nvm = nvm_bandwidth_scaled(0.5)
+    table = Table(
+        ["system", "vs DRAM-only", "migrations", "re-profiling triggers"],
+        title="phaseshift: table hotness inverts halfway (DRAM fits one table)",
+        float_format="{:.3f}",
+    )
+    ref = run_workload(
+        "phaseshift", "dram-only", nvm, dram_capacity=DRAM_CAP, fast=False
+    ).makespan
+
+    for label, policy in (
+        ("nvm-only", "nvm-only"),
+        ("x-mem (offline static)", "xmem"),
+        ("manager, adaptation OFF", "tahoe-noadapt"),
+        ("manager, adaptation ON", "tahoe"),
+    ):
+        tr = run_workload(
+            "phaseshift", policy, nvm, dram_capacity=DRAM_CAP, fast=False
+        )
+        stats = tr.meta.get("manager_stats", {})
+        table.add_row(
+            [
+                label,
+                tr.makespan / ref,
+                tr.migration_count,
+                int(stats.get("adaptation_triggers", 0)),
+            ]
+        )
+    print(table.render())
+    print(
+        "\nAfter the shift, the 'kernel' type's per-iteration time deviates\n"
+        "beyond the 10% rule; the detector re-activates profiling, the new\n"
+        "profile re-ranks the tables, and the helper thread swaps them —\n"
+        "beating every static placement, including the offline-profiled one."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""A user-defined application on the public API: an image-processing
+pipeline on a DRAM+NVM workstation.
+
+Per frame: decode -> per-tile filter (stencil over tiles, reads a shared
+convolution-kernel table) -> downsample -> encode.  The kernel table and
+the current frame's tiles are hot; the archive of encoded outputs is cold
+and only appended to.  The data manager discovers this at runtime without
+hints.
+
+Run:  python examples/image_pipeline.py
+"""
+
+from repro import (
+    DataManagerPolicy,
+    TaskRuntime,
+    read_footprint,
+    update_footprint,
+    write_footprint,
+)
+from repro.baselines import DRAMOnlyPolicy, NVMOnlyPolicy
+from repro.memory.presets import dram, optane_pm
+from repro.tasking.footprints import BLOCKED, RANDOM, STREAMING
+from repro.util.tables import Table
+from repro.util.units import MIB
+
+
+N_FRAMES = 6
+TILES_PER_FRAME = 8
+TILE = 6 * MIB
+
+
+def build_pipeline() -> TaskRuntime:
+    rt = TaskRuntime(dram=dram(64 * MIB), nvm=optane_pm())
+
+    kernel_table = rt.data("kernel_table", 2 * MIB)
+    archive = rt.data("archive", 512 * MIB)
+    raw = rt.data("raw_stream", 256 * MIB)
+
+    for f in range(N_FRAMES):
+        tiles = [rt.data(f"frame{f}/tile{t}", TILE) for t in range(TILES_PER_FRAME)]
+        for t, tile in enumerate(tiles):
+            rt.spawn(
+                f"decode[{f},{t}]",
+                {
+                    raw: read_footprint(TILE, STREAMING),
+                    tile: write_footprint(TILE, STREAMING),
+                },
+                compute_time=3e-4,
+                type_name="decode",
+                iteration=f,
+            )
+        for t, tile in enumerate(tiles):
+            rt.spawn(
+                f"filter[{f},{t}]",
+                {
+                    tile: update_footprint(TILE, TILE, BLOCKED, reuse=3.0),
+                    kernel_table: read_footprint(2 * MIB, RANDOM, reuse=4.0),
+                },
+                compute_time=8e-4,
+                type_name="filter",
+                iteration=f,
+            )
+        half = [rt.data(f"frame{f}/half{t}", TILE // 4) for t in range(TILES_PER_FRAME)]
+        for t, (tile, out) in enumerate(zip(tiles, half)):
+            rt.spawn(
+                f"downsample[{f},{t}]",
+                {
+                    tile: read_footprint(TILE, STREAMING),
+                    out: write_footprint(TILE // 4, STREAMING),
+                },
+                compute_time=2e-4,
+                type_name="downsample",
+                iteration=f,
+            )
+        rt.spawn(
+            f"encode[{f}]",
+            {
+                **{h: read_footprint(h.size_bytes, STREAMING) for h in half},
+                archive: update_footprint(2 * MIB, 12 * MIB, STREAMING),
+            },
+            compute_time=1e-3,
+            type_name="encode",
+            iteration=f,
+        )
+    return rt
+
+
+def main() -> None:
+    table = Table(
+        ["policy", "makespan (ms)", "vs DRAM-only", "migrations", "overlap %"],
+        title=f"Image pipeline, {N_FRAMES} frames on DRAM(64 MiB)+Optane PM",
+        float_format="{:.2f}",
+    )
+    ref = build_pipeline().dram_only_machine().run(DRAMOnlyPolicy()).makespan
+    for policy in (NVMOnlyPolicy(), DataManagerPolicy()):
+        tr = build_pipeline().run(policy)
+        table.add_row(
+            [
+                policy.name,
+                tr.makespan * 1e3,
+                tr.makespan / ref,
+                tr.migration_count,
+                tr.migration_overlap() * 100,
+            ]
+        )
+    table.add_row(["dram-only (reference)", ref * 1e3, 1.0, 0, 100.0])
+    print(table.render())
+    print(
+        "\nThe manager learns per task type: 'filter' hammers the kernel table\n"
+        "(random gathers - latency-sensitive on Optane) and the frame tiles\n"
+        "(bandwidth-sensitive); the archive is write-mostly and cold, so it\n"
+        "stays on NVM, where Optane's buffered writes are cheap."
+    )
+
+
+if __name__ == "__main__":
+    main()

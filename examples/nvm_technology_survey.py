@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Survey: how much of each NVM technology's gap can the runtime close?
+
+Runs two contrasting workloads (bandwidth-bound heat, latency-bound
+health) across the Table-1 device presets — STT-RAM, PCRAM, ReRAM, Optane
+PM — comparing NVM-only against the data manager, normalized to
+DRAM-only.
+
+Run:  python examples/nvm_technology_survey.py
+"""
+
+from repro.experiments.runner import run_workload
+from repro.memory.presets import optane_pm, pcram, reram, stt_ram
+from repro.util.tables import Table
+
+DEVICES = {
+    "stt-ram": stt_ram,
+    "pcram": pcram,
+    "reram": reram,
+    "optane-pm": optane_pm,
+}
+
+WORKLOADS = ("heat", "health")
+
+
+def main() -> None:
+    for wl in WORKLOADS:
+        table = Table(
+            ["device", "nvm-only", "data manager", "gap closed %"],
+            title=f"{wl}: normalized time per NVM technology (DRAM-only = 1.0)",
+            float_format="{:.2f}",
+        )
+        for name, factory in DEVICES.items():
+            nvm = factory()
+            ref = run_workload(wl, "dram-only", nvm, fast=True).makespan
+            nv = run_workload(wl, "nvm-only", nvm, fast=True).makespan / ref
+            tah = run_workload(wl, "tahoe", nvm, fast=True).makespan / ref
+            closed = 100.0 * (nv - tah) / (nv - 1.0) if nv > 1.01 else 100.0
+            table.add_row([name, nv, tah, closed])
+        print(table.render())
+        print()
+    print(
+        "Slower technologies leave bigger gaps and bigger wins; the small\n"
+        "DRAM tier caps how much of the working set can be protected, so\n"
+        "the closure saturates rather than reaching 100%."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Quickstart: manage data placement for a small task program.
+
+Builds a little iterative program with one hot object and one cold object,
+then runs it on a simulated DRAM+NVM machine under three policies:
+
+- NVM-only (do nothing),
+- X-Mem-style static offline placement,
+- the runtime data manager (the paper's system).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DataManagerPolicy, TaskRuntime, read_footprint, update_footprint
+from repro.baselines import DRAMOnlyPolicy, NVMOnlyPolicy, XMemPolicy
+from repro.memory.presets import dram, nvm_bandwidth_scaled
+from repro.util.tables import Table
+from repro.util.units import MIB
+
+
+def build_program(static_hints: bool = False) -> TaskRuntime:
+    """An iterative kernel: a hot working array swept 4x per step, plus a
+    big cold table only sampled occasionally.
+
+    With ``static_hints`` the allocation carries compiler-style reference
+    counts, so the manager's initial placement already matches the
+    profile-derived decision and the online warm-up disappears.
+    """
+    rt = TaskRuntime(
+        dram=dram(16 * MIB),  # small DRAM: placement decisions matter
+        nvm=nvm_bandwidth_scaled(0.5),  # NVM at half DRAM bandwidth
+    )
+    hot = rt.data("hot_state", 8 * MIB, static_ref_count=1e8 if static_hints else 0.0)
+    cold = rt.data("cold_table", 48 * MIB, static_ref_count=1e6 if static_hints else 0.0)
+    for step in range(16):
+        rt.spawn(
+            f"update[{step}]",
+            {
+                hot: update_footprint(hot.size_bytes, hot.size_bytes, reuse=4.0),
+                cold: read_footprint(cold.size_bytes / 16),
+            },
+            compute_time=2e-4,
+            type_name="update",
+            iteration=step,
+        )
+    return rt
+
+
+def main() -> None:
+    table = Table(
+        ["policy", "makespan (ms)", "vs DRAM-only", "migrations", "runtime cost %"],
+        title="Quickstart: one hot + one cold object on DRAM(16 MiB)+NVM(bw/2)",
+        float_format="{:.2f}",
+    )
+
+    ref = build_program().dram_only_machine().run(DRAMOnlyPolicy()).makespan
+
+    for label, policy, hints in (
+        ("nvm-only", NVMOnlyPolicy(), False),
+        ("xmem (offline profile)", XMemPolicy(), False),
+        ("manager (no hints)", DataManagerPolicy(), False),
+        ("manager + static hints", DataManagerPolicy(), True),
+    ):
+        trace = build_program(static_hints=hints).run(policy)
+        table.add_row(
+            [
+                label,
+                trace.makespan * 1e3,
+                trace.makespan / ref,
+                trace.migration_count,
+                trace.overhead_fraction() * 100,
+            ]
+        )
+
+    table.add_row(["dram-only (reference)", ref * 1e3, 1.0, 0, 0.0])
+    print(table.render())
+    print(
+        "\nThe manager profiles the first two 'update' instances, classifies"
+        "\n'hot_state' as bandwidth-sensitive, and promotes it; with static"
+        "\nreference-count hints the initial placement already matches the"
+        "\ndecision and the online warm-up disappears (the paper's initial-"
+        "\nplacement optimization)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists only so
+``pip install -e . --no-use-pep517`` works on offline machines that lack
+the ``wheel`` package required by the PEP 517 editable path.
+"""
+
+from setuptools import setup
+
+setup()

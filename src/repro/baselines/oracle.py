@@ -1,0 +1,45 @@
+"""Oracle static placement — the evaluation's upper-bound comparator.
+
+Unlike every realizable policy, the oracle reads the *ground truth*: for
+each object it computes the exact whole-run time saved by DRAM residency
+(per-task ``memory_time`` on NVM minus on DRAM, true footprints, true
+patterns) and solves the same DRAM knapsack with those exact values.  It
+still pays no migrations (placement fixed at t=0), so it bounds what any
+*static* placement can achieve; a dynamic policy can beat it only by
+exploiting phase behaviour.
+
+Used in the E10 extension experiment to report "fraction of oracle-static
+achieved" — a sharper yardstick than distance from DRAM-only when DRAM
+cannot hold the working set.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.policies import BasePolicy
+from repro.core.knapsack import solve_knapsack
+from repro.tasking.executor import ExecContext
+
+__all__ = ["OracleStaticPolicy"]
+
+
+class OracleStaticPolicy(BasePolicy):
+    """Exact-benefit static knapsack (not realizable; evaluation only)."""
+
+    name = "oracle-static"
+
+    def __init__(self, capacity_fraction: float = 0.98):
+        self.capacity_fraction = capacity_fraction
+
+    def on_run_start(self, ctx: ExecContext) -> None:
+        objs = ctx.graph.objects
+        benefit = {o.uid: 0.0 for o in objs}
+        for task in ctx.graph.tasks:
+            for obj, acc in task.accesses.items():
+                benefit[obj.uid] += acc.memory_time(ctx.nvm) - acc.memory_time(ctx.dram)
+        values = [benefit[o.uid] for o in objs]
+        sizes = [o.size_bytes for o in objs]
+        budget = int(ctx.dram.capacity_bytes * self.capacity_fraction)
+        mask = solve_knapsack(values, sizes, budget, granularity=1024)
+        for obj, keep in zip(objs, mask):
+            if keep and ctx.hms.dram_fits(obj.size_bytes):
+                ctx.place_initial(obj, ctx.dram)

@@ -1,0 +1,46 @@
+"""Migration-cost models (Eqs. 6–7 analogues).
+
+A migration streams at ``mem_copy_bw = min(src read BW, dst write BW)``;
+the part of the copy that fits inside the computation window before the
+object's first use is free (the helper thread hides it), so::
+
+    COST = max(size / copy_bw + overhead - overlap_window, 0)        (Eq. 6)
+
+Eviction cost (Eq. 7's ``extra_COST``) prices the copies needed to make
+room: the victims' bytes over the DRAM->NVM copy bandwidth, with the same
+overlap credit — evictions are just as hideable as promotions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.memory.device import MemoryDevice
+from repro.memory.migration import DEFAULT_MIGRATION_OVERHEAD_S, copy_time
+
+__all__ = ["migration_cost", "eviction_cost"]
+
+
+def migration_cost(
+    size_bytes: int,
+    src: MemoryDevice,
+    dst: MemoryDevice,
+    overlap_window_s: float = 0.0,
+    overhead_s: float = DEFAULT_MIGRATION_OVERHEAD_S,
+) -> float:
+    """Eq. 6: non-hideable cost of one object migration."""
+    return max(copy_time(size_bytes, src, dst, overhead_s) - max(overlap_window_s, 0.0), 0.0)
+
+
+def eviction_cost(
+    victim_sizes: Iterable[int],
+    dram: MemoryDevice,
+    nvm: MemoryDevice,
+    overlap_window_s: float = 0.0,
+    overhead_s: float = DEFAULT_MIGRATION_OVERHEAD_S,
+) -> float:
+    """Eq. 7's extra_COST: copies moving victims out of DRAM."""
+    total = 0.0
+    for size in victim_sizes:
+        total += copy_time(size, dram, nvm, overhead_s)
+    return max(total - max(overlap_window_s, 0.0), 0.0)

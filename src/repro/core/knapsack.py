@@ -1,0 +1,95 @@
+"""0/1 knapsack solvers for the placement decision.
+
+Maximize total weight of DRAM-resident objects subject to DRAM capacity.
+Sizes are discretized to ``granularity`` buckets (ceil — a solution never
+exceeds real capacity) and solved with the classic DP, vectorized over
+the capacity axis with numpy; a value-density greedy is provided both as
+the ablation comparator and as the fallback for item counts where the DP
+table would be wasteful.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.validation import require
+
+__all__ = ["solve_knapsack", "greedy_by_density"]
+
+
+def solve_knapsack(
+    values: Sequence[float],
+    sizes: Sequence[int],
+    capacity: int,
+    granularity: int = 512,
+) -> list[bool]:
+    """Exact (up to discretization) 0/1 knapsack; returns a keep-mask.
+
+    Items with non-positive value or size exceeding capacity are never
+    taken.  ``granularity`` bounds the DP table's capacity axis; sizes are
+    rounded *up* so the selection always fits the true capacity.
+    """
+    n = len(values)
+    require(len(sizes) == n, "values and sizes must have equal length")
+    if n == 0 or capacity <= 0:
+        return [False] * n
+
+    unit = max(1, int(capacity) // int(granularity))
+    cap_units = int(capacity) // unit
+    if cap_units == 0:
+        return [False] * n
+
+    # Candidate filter: positive value and fits at all.
+    idx = [
+        i
+        for i in range(n)
+        if values[i] > 0 and 0 < sizes[i] <= capacity
+    ]
+    if not idx:
+        return [False] * n
+
+    w = np.array([-(-int(sizes[i]) // unit) for i in idx], dtype=np.int64)  # ceil
+    v = np.array([values[i] for i in idx], dtype=np.float64)
+
+    dp = np.zeros(cap_units + 1, dtype=np.float64)
+    keep = np.zeros((len(idx), cap_units + 1), dtype=bool)
+    for k in range(len(idx)):
+        wk, vk = int(w[k]), v[k]
+        if wk > cap_units:
+            continue
+        cand = dp[:-wk] + vk if wk > 0 else dp + vk
+        better = cand > dp[wk:]
+        keep[k, wk:] = better
+        dp[wk:] = np.where(better, cand, dp[wk:])
+
+    # Backtrack.
+    mask = [False] * n
+    c = cap_units
+    for k in range(len(idx) - 1, -1, -1):
+        if keep[k, c]:
+            mask[idx[k]] = True
+            c -= int(w[k])
+    return mask
+
+
+def greedy_by_density(
+    values: Sequence[float],
+    sizes: Sequence[int],
+    capacity: int,
+) -> list[bool]:
+    """Value-per-byte greedy fill (the ablation comparator)."""
+    n = len(values)
+    require(len(sizes) == n, "values and sizes must have equal length")
+    order = sorted(
+        (i for i in range(n) if values[i] > 0 and 0 < sizes[i] <= capacity),
+        key=lambda i: (-(values[i] / sizes[i]), sizes[i], i),
+    )
+    mask = [False] * n
+    remaining = int(capacity)
+    for i in order:
+        if sizes[i] <= remaining:
+            mask[i] = True
+            remaining -= int(sizes[i])
+    return mask

@@ -1,0 +1,55 @@
+"""DAG lookahead: when will upcoming tasks run, and when is data needed?
+
+The proactive-migration mechanism needs two estimates per candidate
+object:
+
+- the *overlap window*: time from now until the object's first use in the
+  upcoming window (copy time hidden inside it is free — Eq. 6);
+- the earliest dependency-safe start is tracked by the executor context
+  (``last_use_finish``); this module only does the forward-looking part.
+
+Start times are estimated with the standard area argument: the k-th
+upcoming task starts roughly when the total predicted work of the tasks
+ahead of it has been spread over the workers.  It ignores dependence
+stalls — fine for a *migration overlap* estimate, where being early is
+conservative (less assumed overlap) and being late merely schedules the
+copy sooner than strictly needed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.tasking.task import Task
+
+__all__ = ["estimate_start_offsets", "first_use_offsets"]
+
+
+def estimate_start_offsets(
+    tasks: Sequence[Task],
+    duration_of: Callable[[Task], float],
+    n_workers: int,
+) -> list[float]:
+    """Offset (seconds from now) at which each of ``tasks`` should start."""
+    offsets: list[float] = []
+    acc = 0.0
+    inv = 1.0 / max(1, n_workers)
+    for t in tasks:
+        offsets.append(acc)
+        acc += duration_of(t) * inv
+    return offsets
+
+
+def first_use_offsets(
+    tasks: Sequence[Task],
+    duration_of: Callable[[Task], float],
+    n_workers: int,
+) -> dict[int, float]:
+    """Per-object uid, the offset of its first use within ``tasks``."""
+    offsets = estimate_start_offsets(tasks, duration_of, n_workers)
+    first: dict[int, float] = {}
+    for t, off in zip(tasks, offsets):
+        for obj, acc in t.accesses.items():
+            if acc.accesses and obj.uid not in first:
+                first[obj.uid] = off
+    return first

@@ -1,0 +1,533 @@
+"""The runtime data manager (the paper's system, task-granularity).
+
+``DataManagerPolicy`` plugs into the executor and implements the full
+workflow:
+
+- **online profiling** of the first ``profile_instances`` instances of
+  each task type through the sampling counters;
+- **modeling**: per-slot behaviour generalized over all instances of the
+  type (:class:`TypeModel`), Eq.-1 sensitivity classification, benefit
+  (Eqs. 2–5) and cost (Eqs. 6–7) models;
+- **decision**: window-local and cross-run global knapsack plans, the
+  better gain rate wins (re-decided as the window slides in local mode);
+- **enforcement**: proactive helper-thread migrations at the earliest
+  dependency-safe point, evicting the least valuable residents when DRAM
+  is tight;
+- **adaptation**: per-type duration drift beyond 10 % re-activates
+  profiling and replanning;
+- **initial placement** from static reference counts; **partitioning**
+  of large objects (via ``partition_max_bytes``, applied by the runtime
+  before execution).
+
+Every piece of software work is charged to the worker as overhead, so the
+"pure runtime cost" the paper reports is measured, not assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.policies import BasePolicy
+from repro.core.adaptation import DeviationDetector
+from repro.core.initial import initial_placement
+from repro.core.lookahead import first_use_offsets
+from repro.core.models import ObjectStats, TypeModel
+from repro.core.placement import ObjectDemand, PlacementPlan, PlanConfig, make_plan
+from repro.profiling.calibration import CalibrationResult, calibrate
+from repro.tasking.executor import ExecContext
+from repro.tasking.task import Task
+from repro.tasking.trace import TaskRecord
+from repro.util.log import get_logger
+from repro.util.units import US
+
+__all__ = ["ManagerConfig", "DataManagerPolicy"]
+
+log = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class ManagerConfig:
+    """All knobs of the data manager (ablation surface)."""
+
+    profile_instances: int = 2
+    lookahead_tasks: int = 48
+    decide_every: int = 24
+    plan: PlanConfig = field(default_factory=PlanConfig)
+    enable_global_search: bool = True
+    enable_local_search: bool = True
+    enable_initial_placement: bool = True
+    enable_adaptation: bool = True
+    #: When set, the runtime partitions partitionable objects larger than
+    #: this before execution (chunking optimization).
+    partition_max_bytes: int | None = None
+    #: Software cost constants (charged as worker overhead).
+    per_task_sync_overhead_s: float = 0.5 * US
+    per_demand_plan_overhead_s: float = 2.0 * US
+    per_plan_fixed_overhead_s: float = 20.0 * US
+    per_migration_request_overhead_s: float = 1.0 * US
+    #: Slow EWMA rate for post-profiling duration tracking.
+    duration_alpha: float = 0.05
+    #: Ping-pong breaker: after this many crossings an object is pinned.
+    max_moves_per_object: int = 4
+    #: Decision-overhead budget: fraction of machine time the planner may
+    #: consume; beyond it the replan interval backs off exponentially
+    #: (tiny-task programs with many objects would otherwise spend more
+    #: time planning than working).
+    decision_overhead_budget: float = 0.02
+    #: Volume guard: stop issuing copies once the helper thread's lane is
+    #: backed up this far.  Individually-justified migrations can still
+    #: serialize into a pile-up on devices with storage-class copy
+    #: bandwidth (ReRAM writes); this bounds the pile.
+    max_lane_backlog_s: float = 0.25
+
+
+# Calibration results are per-platform, reused across runs and policies,
+# exactly as the paper's offline step prescribes.
+_CALIBRATION_CACHE: dict[tuple[str, str, int, int], CalibrationResult] = {}
+
+
+class DataManagerPolicy(BasePolicy):
+    """Runtime data placement manager for task-parallel programs."""
+
+    name = "tahoe"
+
+    def __init__(
+        self,
+        config: ManagerConfig | None = None,
+        calibration: CalibrationResult | None = None,
+        name: str | None = None,
+    ):
+        self.config = config or ManagerConfig()
+        self._given_calibration = calibration
+        if name:
+            self.name = name
+        # Per-run state, created in on_run_start.
+        self.calib: CalibrationResult | None = None
+        self._models: dict[str, TypeModel] = {}
+        self._stale_models: dict[str, TypeModel] = {}
+        self._detector = DeviationDetector()
+        self._mode: str | None = None
+        self._plan: PlacementPlan | None = None
+        self._tasks_since_decision = 0
+        self._replan_needed = False
+        self._move_counts: dict[int, int] = {}
+        self._skepticism = 1.0
+        self._watch: dict[str, tuple[float, int]] | None = None
+        self._replan_interval = self.config.decide_every
+        self._decision_overhead = 0.0
+        self.stats: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Executor hooks
+    # ------------------------------------------------------------------
+    @property
+    def partition_max_bytes(self) -> int | None:
+        """Read by the runtime to apply the chunking transformation."""
+        return self.config.partition_max_bytes
+
+    def on_run_start(self, ctx: ExecContext) -> None:
+        self._models = {}
+        self._stale_models = {}
+        self._detector = DeviationDetector()
+        self._mode = None
+        self._plan = None
+        self._tasks_since_decision = 0
+        self._replan_needed = False
+        self._move_counts: dict[int, int] = {}
+        self._skepticism = 1.0
+        self._watch = None
+        self._replan_interval = self.config.decide_every
+        self._decision_overhead = 0.0
+        self.stats = {
+            "replans": 0,
+            "profiled_tasks": 0,
+            "migrations_requested": 0,
+            "adaptation_triggers": 0,
+        }
+        self.calib = self._given_calibration or self._platform_calibration(ctx)
+        if self.config.enable_initial_placement:
+            chosen = initial_placement(ctx.graph.objects, ctx.dram.capacity_bytes)
+            for obj in ctx.graph.objects:
+                if obj.uid in chosen and ctx.hms.dram_fits(obj.size_bytes):
+                    ctx.place_initial(obj, ctx.dram)
+
+    def before_task(self, task: Task, ctx: ExecContext, now: float) -> float:
+        overhead = self.config.per_task_sync_overhead_s
+        self._tasks_since_decision += 1
+        if self._should_replan(task):
+            overhead += self._replan(ctx, now + overhead)
+        return overhead
+
+    def after_task(self, task: Task, record: TaskRecord, ctx: ExecContext) -> float:
+        cfg = self.config
+        overhead = 0.0
+        model = self._models.get(task.type_name)
+        if model is None:
+            model = TypeModel(task.type_name)
+            self._models[task.type_name] = model
+        if model.n_profiles < cfg.profile_instances:
+            profile = ctx.profile(task, record)
+            model.observe(profile, dram_name=ctx.dram.name)
+            overhead += ctx.profiling_overhead(record.duration)
+            self.stats["profiled_tasks"] += 1
+            if model.n_profiles >= cfg.profile_instances:
+                self._stale_models.pop(task.type_name, None)
+                self._replan_needed = True
+        else:
+            model.track_duration(record.duration)
+        if model.n_profiles >= cfg.profile_instances and cfg.enable_adaptation:
+            # Track drift against a slow EWMA; a fast step change beyond the
+            # threshold re-activates profiling for the type.
+            if self._detector.observe(task.type_name, record.duration, task.iteration):
+                self._stale_models[task.type_name] = model
+                self._models[task.type_name] = TypeModel(task.type_name)
+                self._replan_needed = True
+                self.stats["adaptation_triggers"] += 1
+                log.debug("adaptation trigger: type=%s re-profiling", task.type_name)
+            else:
+                model.mean_duration += (
+                    record.duration - model.mean_duration
+                ) * cfg.duration_alpha
+        return overhead
+
+    # ------------------------------------------------------------------
+    # Decision machinery
+    # ------------------------------------------------------------------
+    def _should_replan(self, task: Task) -> bool:
+        if self._model_for(task.type_name) is None:
+            return False  # still profiling this type; keep placement as is
+        if self._replan_needed:
+            return True
+        # Re-decide periodically in every mode: a stable global plan is
+        # re-enforced idempotently (no copies), while a shifting hot set
+        # can flip the scope choice to local search mid-run.  The
+        # interval backs off when planning overhead exceeds its budget.
+        if self._tasks_since_decision >= self._replan_interval:
+            return True
+        return False
+
+    def _model_for(self, type_name: str) -> TypeModel | None:
+        m = self._models.get(type_name)
+        if m is not None and m.ready:
+            return m
+        s = self._stale_models.get(type_name)
+        if s is not None and s.ready:
+            return s
+        return None
+
+    def _demand_stats(
+        self, tasks: list[Task], ctx: ExecContext
+    ) -> tuple[dict[int, ObjectStats], float]:
+        """Project per-object demand over ``tasks`` from the type models.
+
+        Returns the stats and the predicted total duration of the horizon.
+        """
+        stats: dict[int, ObjectStats] = {}
+        horizon = 0.0
+        for t in tasks:
+            model = self._model_for(t.type_name)
+            if model is None:
+                continue
+            horizon += model.mean_duration
+            for i, obj in enumerate(t.accesses):
+                slot = model.slot(i)
+                st = stats.get(obj.uid)
+                if st is None:
+                    st = stats[obj.uid] = ObjectStats(uid=obj.uid, size_bytes=obj.size_bytes)
+                st.add(
+                    slot.loads,
+                    slot.stores,
+                    slot.misses,
+                    slot.bw_demand,
+                    confidence=slot.confidence,
+                    mem_seconds=slot.mem_seconds,
+                    dram_frac=slot.dram_frac,
+                )
+        return stats, horizon
+
+    def _duration_of(self, task: Task) -> float:
+        model = self._model_for(task.type_name)
+        return model.mean_duration if model is not None else 1e-4
+
+    def _update_skepticism(self) -> None:
+        """Realized-benefit feedback (monitor-and-adjust).
+
+        After a round of migrations, the affected task types should get
+        faster.  If their recent durations do not improve, the benefit
+        models are overestimating on this workload (e.g. pricing exposed
+        latency that memory-level parallelism actually hides), so all
+        future benefits are scaled down; when improvements do materialize,
+        trust is restored.  This is the task-granularity counterpart of
+        the paper's post-movement performance monitoring.
+        """
+        if self._watch is not None:
+            ratios = []
+            for tname, (old_recent, old_n) in self._watch.items():
+                m = self._models.get(tname)
+                if m is None or not m.ready or old_recent <= 0:
+                    continue
+                if m.n_instances < old_n + 2:
+                    continue  # not enough fresh instances to judge
+                ratios.append(m.recent_duration / old_recent)
+            if ratios:
+                ratios.sort()
+                med = ratios[len(ratios) // 2]
+                if med > 0.97:
+                    self._skepticism = max(0.1, self._skepticism * 0.5)
+                elif med < 0.92:
+                    self._skepticism = min(1.0, self._skepticism * 1.5)
+                self._watch = None
+        self.stats["skepticism"] = self._skepticism
+
+    def _snapshot_watch(self) -> None:
+        """Arm the feedback monitor after issuing migrations."""
+        self._watch = {
+            t: (m.recent_duration, m.n_instances)
+            for t, m in self._models.items()
+            if m.ready
+        }
+
+    def _parallel_slack(self, tasks: list[Task], ctx: ExecContext) -> float:
+        """Throughput-vs-wave discriminator for the additive benefit model.
+
+        Per dependence level of the horizon, ask how the level's makespan
+        responds to speeding one task:
+
+        - width 1 (serial segment): the task *is* the critical path —
+          full benefit;
+        - width >= ~2 waves of workers: throughput-limited — level time is
+          total work over workers, so additive benefits are sound;
+        - a single wave of parallel siblings (width ~ workers, e.g. MG's
+          eight smooths on eight workers): the level ends when its slowest
+          sibling does, so speeding one task contributes only ~1/width.
+
+        The returned scale is the task-weighted mean of per-level shares.
+        """
+        if not tasks:
+            return 1.0
+        depths = ctx.graph.depths()
+        widths: dict[int, int] = {}
+        for t in tasks:
+            d = depths[t.tid]
+            widths[d] = widths.get(d, 0) + 1
+        workers = max(1, ctx.config.n_workers)
+        num = 0.0
+        for width in widths.values():
+            if width <= 1:
+                share = 1.0
+            else:
+                waves = width / workers
+                if waves >= 2.0:
+                    share = 1.0
+                else:
+                    base = 1.0 / width
+                    share = base + (1.0 - base) * max(0.0, waves - 1.0)
+            num += width * share
+        return num / len(tasks)
+
+    def _replan(self, ctx: ExecContext, now: float) -> float:
+        """Re-run both searches, pick the better, enforce it.  Returns the
+        software overhead charged for the decision."""
+        cfg = self.config
+        self._replan_needed = False
+        self._tasks_since_decision = 0
+        self.stats["replans"] += 1
+        self._update_skepticism()
+
+        remaining = ctx.remaining()
+        window = remaining[: cfg.lookahead_tasks]
+        by_uid = {o.uid: o for o in ctx.graph.objects}
+        n_workers = ctx.config.n_workers
+
+        plans: list[tuple[float, PlacementPlan]] = []
+        overhead = cfg.per_plan_fixed_overhead_s
+
+        def build(scope: str, tasks: list[Task]) -> tuple[PlacementPlan, float] | None:
+            stats, horizon = self._demand_stats(tasks, ctx)
+            if not stats:
+                return None
+            offsets = first_use_offsets(tasks, self._duration_of, n_workers)
+            demands = [
+                ObjectDemand(
+                    stats=st,
+                    in_dram=ctx.hms.in_dram(by_uid[uid]),
+                    first_use_offset=offsets.get(uid, 0.0),
+                )
+                for uid, st in stats.items()
+            ]
+            plan = make_plan(
+                scope,
+                demands,
+                ctx.dram.capacity_bytes,
+                ctx.hms.dram_used_bytes(),
+                ctx.nvm,
+                ctx.dram,
+                self.calib,
+                cfg.plan,
+                benefit_scale=self._skepticism
+                * (self._parallel_slack(tasks, ctx) if cfg.plan.use_parallel_slack else 1.0),
+            )
+            return plan, max(horizon / max(1, n_workers), 1e-9)
+
+        resident_uids = {o.uid for o in ctx.hms.objects_in_dram()}
+
+        def delta_gain(plan: PlacementPlan) -> float:
+            """What enforcing the plan buys *over doing nothing*: the plan
+            set's worth minus the worth of the current resident set under
+            the same demand model.  Comparing raw set worth would favour
+            whichever scope sees more total traffic, not whichever scope's
+            enforcement helps more."""
+            current = sum(
+                max(plan.weights.get(uid, 0.0), 0.0) for uid in resident_uids
+            )
+            return plan.predicted_gain - current
+
+        if cfg.enable_global_search:
+            built = build("global", remaining)
+            if built is not None:
+                plan, horizon = built
+                plans.append((delta_gain(plan) / horizon, plan))
+                overhead += len(plan.weights) * cfg.per_demand_plan_overhead_s
+        if cfg.enable_local_search:
+            built = build("local", window)
+            if built is not None:
+                plan, horizon = built
+                plans.append((delta_gain(plan) / horizon, plan))
+                overhead += len(plan.weights) * cfg.per_demand_plan_overhead_s
+
+        if not plans:
+            return overhead
+        plans.sort(key=lambda p: -p[0])
+        _, best = plans[0]
+        self._mode = best.scope
+        self._plan = best
+        log.debug(
+            "replan@%.4fs: scope=%s set=%d gain=%.3g skepticism=%.2f",
+            now, best.scope, len(best.dram_set), best.predicted_gain, self._skepticism,
+        )
+        migs_before = self.stats["migrations_requested"]
+        overhead += self._enforce(best, ctx, now)
+        if self.stats["migrations_requested"] > migs_before and self._watch is None:
+            self._snapshot_watch()
+        self._throttle_planning(overhead, now, ctx)
+        return overhead
+
+    def _throttle_planning(self, overhead: float, now: float, ctx: ExecContext) -> None:
+        """Keep cumulative decision overhead under its machine-time budget
+        by widening (or re-narrowing) the periodic replan interval."""
+        cfg = self.config
+        self._decision_overhead += overhead
+        machine_time = max(now, 1e-9) * max(1, ctx.config.n_workers)
+        if self._decision_overhead > cfg.decision_overhead_budget * machine_time:
+            self._replan_interval = min(self._replan_interval * 2, 4096)
+        elif self._replan_interval > cfg.decide_every:
+            self._replan_interval = max(cfg.decide_every, self._replan_interval // 2)
+        self.stats["replan_interval"] = self._replan_interval
+
+    def _enforce(self, plan: PlacementPlan, ctx: ExecContext, now: float) -> float:
+        """Issue helper-thread migrations to realize ``plan``.
+
+        Enforcement is *lane-aware*: the helper thread copies serially, so
+        a promotion whose copy cannot land before the object's first use
+        would stall the application on its own migration.  Each candidate
+        is admitted only if its estimated exposed stall stays below its
+        predicted benefit; the lane backlog is tracked as copies (and the
+        evictions that make room for them) are enqueued.
+        """
+        from repro.memory.migration import copy_time
+
+        cfg = self.config
+        by_uid = {o.uid: o for o in ctx.graph.objects}
+        overhead = 0.0
+
+        incoming = [
+            by_uid[uid]
+            for uid in sorted(plan.dram_set, key=lambda u: -plan.weights.get(u, 0.0))
+            if uid in by_uid and not ctx.hms.in_dram(by_uid[uid])
+        ]
+        if not incoming:
+            return overhead
+
+        backlog = ctx.migration_backlog(now)
+        victims = [
+            o for o in ctx.hms.objects_in_dram() if o.uid not in plan.dram_set
+        ]
+        victims.sort(key=lambda o: (plan.weights.get(o.uid, 0.0), -o.size_bytes))
+
+        for obj in incoming:
+            if backlog > cfg.max_lane_backlog_s:
+                break  # lane pile-up: defer the rest to a later replan
+            # Ping-pong breaker: an object that keeps crossing the bus is
+            # being mispredicted; pin it where it is.
+            if self._move_counts.get(obj.uid, 0) >= cfg.max_moves_per_object:
+                continue
+            ct = copy_time(obj.size_bytes, ctx.nvm, ctx.dram, ctx.config.migration_overhead_s)
+            first_use = plan.first_use.get(obj.uid, 0.0)
+            in_weight = plan.weights.get(obj.uid, 0.0)
+            # Evictions needed for this object also occupy the lane, cost
+            # a copy, and forfeit the victims' own remaining benefit.
+            evict_time = 0.0
+            victim_value = 0.0
+            planned_victims = []
+            free = ctx.hms.dram_free_bytes()
+            vi = 0
+            while free < obj.size_bytes and vi < len(victims):
+                v = victims[vi]
+                vi += 1
+                planned_victims.append(v)
+                if ctx.hms.is_dirty(v):  # clean evictions are remaps: free
+                    ct_v = copy_time(
+                        v.size_bytes, ctx.dram, ctx.nvm, ctx.config.migration_overhead_s
+                    )
+                    evict_time += ct_v
+                    # A dirty victim's writers stall until the copy-back
+                    # lands; the part of the copy its next use cannot hide
+                    # is a real cost of the swap.
+                    victim_value += max(
+                        0.0, ct_v - plan.first_use.get(v.uid, 0.0)
+                    )
+                victim_value += max(plan.weights.get(v.uid, 0.0), 0.0)
+                free += v.size_bytes
+            if free < obj.size_bytes:
+                continue  # cannot make room even after all victims
+            # Economics of the whole swap: the newcomer's net weight must
+            # beat what the victims were still worth plus the eviction
+            # copies (with the same hysteresis margin as promotions).
+            if in_weight <= victim_value + cfg.plan.cost_margin * evict_time:
+                continue
+            # Stall guard: the weight already charges the cost-margined
+            # copy; only an *additional* exposed stall beyond that refusal
+            # threshold vetoes the move.
+            stall_est = max(0.0, backlog + evict_time + ct - first_use)
+            if stall_est > in_weight + cfg.plan.cost_margin * ct:
+                continue  # the copy would cost more than it saves
+            for v in planned_victims:
+                ctx.request_migration(v, ctx.nvm, now)
+                self._move_counts[v.uid] = self._move_counts.get(v.uid, 0) + 1
+                self.stats["migrations_requested"] += 1
+                overhead += cfg.per_migration_request_overhead_s
+            victims = [v for v in victims if v not in planned_victims]
+            if not ctx.hms.dram_fits(obj.size_bytes):
+                continue  # fragmentation: give up on this object
+            ctx.request_migration(obj, ctx.dram, now)
+            log.debug("promote uid=%d (%d B) victims=%d", obj.uid, obj.size_bytes,
+                      len(planned_victims))
+            self._move_counts[obj.uid] = self._move_counts.get(obj.uid, 0) + 1
+            self.stats["migrations_requested"] += 1
+            overhead += cfg.per_migration_request_overhead_s
+            backlog += evict_time + ct
+        return overhead
+
+    # ------------------------------------------------------------------
+    def _platform_calibration(self, ctx: ExecContext) -> CalibrationResult:
+        key = (
+            ctx.dram.name,
+            ctx.nvm.name,
+            ctx.config.sampling_interval_cycles,
+            ctx.config.n_workers,
+        )
+        result = _CALIBRATION_CACHE.get(key)
+        if result is None:
+            result = calibrate(ctx.dram, ctx.nvm, ctx.config)
+            _CALIBRATION_CACHE[key] = result
+        return result

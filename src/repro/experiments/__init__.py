@@ -1,0 +1,26 @@
+"""Experiment harness: one module per table/figure of the evaluation.
+
+Every experiment module exposes ``TITLE``, ``run(fast=True) -> ExperimentResult``
+and registers itself in :data:`repro.experiments.registry.EXPERIMENTS`.
+``repro-experiments <id>`` (or ``python -m repro.experiments.cli``) runs
+and prints any of them.  EXPERIMENTS.md records expected-vs-measured.
+"""
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    run_workload,
+    make_policy,
+    POLICIES,
+    workload_params,
+)
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "run_workload",
+    "make_policy",
+    "POLICIES",
+    "workload_params",
+    "EXPERIMENTS",
+    "get_experiment",
+]

@@ -1,0 +1,56 @@
+"""Command-line entry: run experiments and print their tables.
+
+Usage::
+
+    repro-experiments e1 e3            # specific experiments
+    repro-experiments all              # the whole suite
+    repro-experiments all --full       # full problem sizes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures on the simulator.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use full problem sizes (default: fast sizes)",
+    )
+    args = parser.parse_args(argv)
+
+    keys = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    rc = 0
+    for key in keys:
+        try:
+            module = get_experiment(key)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            rc = 2
+            continue
+        start = time.perf_counter()
+        result = module.run(fast=not args.full)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"[{key}: {elapsed:.1f}s]\n")
+    return rc
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

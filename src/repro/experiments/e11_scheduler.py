@@ -1,0 +1,92 @@
+"""E11 (extension) — scheduling/placement co-design.
+
+The SC 2018 setting is a *task runtime*: unlike the MPI sibling, it also
+controls which ready task runs next.  This experiment measures how much a
+memory-aware ready policy (prefer tasks whose data is DRAM-resident,
+defer tasks whose promotions are in flight) adds on top of the data
+manager, against FIFO and critical-path ordering.
+
+Expected shape: scheduling alone (memory-aware + NVM-only placement)
+changes nothing — there is nothing resident to prefer; the data manager
+alone captures most of the benefit; the combination is equal or slightly
+better, with fewer migration-induced stalls, and never worse than
+FIFO+manager by more than noise.
+"""
+
+from __future__ import annotations
+
+from repro.core.manager import DataManagerPolicy
+from repro.baselines import NVMOnlyPolicy
+from repro.experiments.runner import ExperimentResult, workload_params
+from repro.memory.hms import HeterogeneousMemorySystem
+from repro.memory.presets import dram as dram_preset, nvm_bandwidth_scaled
+from repro.tasking.executor import Executor, ExecutorConfig
+from repro.tasking.scheduler import CriticalPathPolicy, FIFOPolicy, MemoryAwarePolicy
+from repro.util.tables import Table
+from repro.workloads import build
+
+EXPERIMENT = "E11"
+TITLE = "Scheduling/placement co-design (extension)"
+
+WORKLOADS = ("cg", "heat", "sparselu", "kmeans")
+SCHEDULERS = {
+    "fifo": FIFOPolicy,
+    "critical-path": CriticalPathPolicy,
+    "memory-aware": MemoryAwarePolicy,
+}
+
+
+def run(fast: bool = True, workloads: tuple[str, ...] = WORKLOADS) -> ExperimentResult:
+    result = ExperimentResult(EXPERIMENT, TITLE)
+    nvm = nvm_bandwidth_scaled(0.5)
+    table = Table(
+        ["workload"]
+        + [f"{s}+manager" for s in SCHEDULERS]
+        + ["memory-aware+nvm-only"],
+        title="Normalized time (DRAM-only = 1.0) per ready policy",
+        float_format="{:.3f}",
+    )
+
+    def one(name, sched_cls, policy):
+        w = build(name, **workload_params(name, fast))
+        hms = HeterogeneousMemorySystem(dram_preset(), nvm)
+        return Executor(hms, ExecutorConfig(n_workers=8), sched_cls()).run(
+            w.graph, policy
+        ).makespan
+
+    for name in workloads:
+        w = build(name, **workload_params(name, fast))
+        big = dram_preset(w.total_bytes * 2)
+        hms = HeterogeneousMemorySystem(big, nvm)
+        from repro.baselines import DRAMOnlyPolicy
+
+        ref = Executor(hms, ExecutorConfig(n_workers=8)).run(
+            w.graph, DRAMOnlyPolicy()
+        ).makespan
+
+        row: list = [name]
+        for key, sched_cls in SCHEDULERS.items():
+            norm = one(name, sched_cls, DataManagerPolicy()) / ref
+            result.metrics[f"{name}/{key}"] = norm
+            row.append(norm)
+        norm = one(name, MemoryAwarePolicy, NVMOnlyPolicy()) / ref
+        result.metrics[f"{name}/memaware-nvmonly"] = norm
+        row.append(norm)
+        table.add_row(row)
+
+    result.tables = [table]
+    result.notes = (
+        "Expected: placement does the heavy lifting; ready-policy choice only\n"
+        "matters when the DAG leaves slack (sparselu: ~6% from informed\n"
+        "ordering), and memory-aware ordering never hurts; scheduling without\n"
+        "placement recovers nothing."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run(fast=False).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,84 @@
+"""E1 — NVM/DRAM performance-gap study (Figs. 2–3 analogue).
+
+NVM-only slowdown vs DRAM-only across emulated NVM configurations: 1/2,
+1/4, 1/8 of DRAM bandwidth, and 2x, 4x, 8x DRAM latency.
+
+Expected shape: every workload slows monotonically along each axis;
+streaming workloads (heat, stream, mg, fft, strassen) react to the
+bandwidth axis and barely to latency; pointer-chasing workloads (health,
+pchase) react to latency and barely to bandwidth; CG and N-body react to
+both.  Magnitudes land in the paper's 1.1x–8.4x band.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult, run_workload
+from repro.memory.presets import nvm_bandwidth_scaled, nvm_latency_scaled
+from repro.util.tables import Table
+
+EXPERIMENT = "E1"
+TITLE = "NVM-only vs DRAM-only performance gap"
+
+WORKLOADS = (
+    "cg",
+    "heat",
+    "cholesky",
+    "lu",
+    "sparselu",
+    "health",
+    "nbody",
+    "mg",
+    "fft",
+    "strassen",
+)
+
+BW_FRACTIONS = (0.5, 0.25, 0.125)
+LAT_MULTIPLIERS = (2.0, 4.0, 8.0)
+
+
+def run(fast: bool = True, workloads: tuple[str, ...] = WORKLOADS) -> ExperimentResult:
+    result = ExperimentResult(EXPERIMENT, TITLE)
+    bw_table = Table(
+        ["workload", "dram"] + [f"bw-1/{int(1 / f)}" for f in BW_FRACTIONS],
+        title="Normalized execution time, NVM with scaled bandwidth (Fig. 2 analogue)",
+        float_format="{:.2f}",
+    )
+    lat_table = Table(
+        ["workload", "dram"] + [f"lat-{int(m)}x" for m in LAT_MULTIPLIERS],
+        title="Normalized execution time, NVM with scaled latency (Fig. 3 analogue)",
+        float_format="{:.2f}",
+    )
+
+    for name in workloads:
+        base = run_workload(name, "dram-only", nvm_bandwidth_scaled(0.5), fast=fast)
+        ref = base.makespan
+        row_bw: list = [name, 1.0]
+        for frac in BW_FRACTIONS:
+            t = run_workload(name, "nvm-only", nvm_bandwidth_scaled(frac), fast=fast)
+            slow = t.makespan / ref
+            row_bw.append(slow)
+            result.metrics[f"{name}/bw-{frac:g}"] = slow
+        bw_table.add_row(row_bw)
+
+        row_lat: list = [name, 1.0]
+        for mult in LAT_MULTIPLIERS:
+            t = run_workload(name, "nvm-only", nvm_latency_scaled(mult), fast=fast)
+            slow = t.makespan / ref
+            row_lat.append(slow)
+            result.metrics[f"{name}/lat-{mult:g}x"] = slow
+        lat_table.add_row(row_lat)
+
+    result.tables = [bw_table, lat_table]
+    result.notes = (
+        "Expected: monotone slowdowns; bandwidth-sensitive workloads react to\n"
+        "the BW axis, latency-sensitive (health) to the LAT axis; 1.1x-8.4x band."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run(fast=False).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,198 @@
+"""E9 — Design-choice ablations (the DESIGN.md ablation list).
+
+Eight sub-studies, each isolating one knob of the data manager:
+
+a. **Lookahead depth** (window size for local search / overlap windows).
+b. **Sampling interval** of the emulated counters (overhead vs fidelity).
+c. **Knapsack DP vs density greedy** for the placement decision.
+d. **Profile instances per task type** (profiling cost vs model quality).
+e. **Adaptation on/off** under a mid-run regime shift (the phaseshift
+   workload: two tables whose hotness inverts halfway).
+f. **Miss counter on/off** — the paper's loads/stores-only configuration
+   vs the combined-counter models (cache-blind counts overprice
+   cache-friendly objects; expect churn without the miss counter).
+g. **Parallel-slack haircut on/off** — additive benefits in wave-limited
+   regions (MG's single wave of smooths).
+h. **Lane backlog cap** — the volume guard that keeps storage-class
+   write bandwidth (ReRAM) from drowning the run in its own copies.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import repro.experiments.runner as runner_mod
+from repro.experiments.runner import ExperimentResult, _tahoe, run_workload
+from repro.memory.presets import nvm_bandwidth_scaled, nvm_latency_scaled
+from repro.util.tables import Table
+
+EXPERIMENT = "E9"
+TITLE = "Design-choice ablations"
+
+
+def _variant(key: str, **overrides: Any) -> str:
+    """Register a throwaway tahoe variant and return its policy name."""
+    name = f"__e9_{key}"
+    runner_mod.POLICIES[name] = _tahoe(name=f"tahoe-{key}", **overrides)
+    return name
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    result = ExperimentResult(EXPERIMENT, TITLE)
+    nvm = nvm_bandwidth_scaled(0.5)
+
+    # ------------------------------------------------------- a. lookahead
+    t = Table(
+        ["lookahead tasks", "normalized time", "migrations", "overlap %"],
+        title="a. Lookahead depth (cholesky, bw-1/2)",
+        float_format="{:.2f}",
+    )
+    ref = run_workload("cholesky", "dram-only", nvm, fast=fast).makespan
+    for depth in (8, 48, 128):
+        pol = _variant(f"look{depth}", lookahead_tasks=depth, decide_every=max(4, depth // 2))
+        tr = run_workload("cholesky", pol, nvm, fast=fast)
+        t.add_row([depth, tr.makespan / ref, tr.migration_count, tr.migration_overlap() * 100])
+        result.metrics[f"lookahead/{depth}"] = tr.makespan / ref
+    result.tables.append(t)
+
+    # ------------------------------------------------- b. sampling interval
+    t = Table(
+        ["interval (cycles)", "normalized time", "runtime cost %"],
+        title="b. Counter sampling interval (heat, bw-1/2)",
+        float_format="{:.2f}",
+    )
+    ref = run_workload("heat", "dram-only", nvm, fast=fast).makespan
+    for interval in (100, 1000, 10000):
+        tr = run_workload(
+            "heat",
+            "tahoe",
+            nvm,
+            fast=fast,
+            exec_overrides={"sampling_interval_cycles": interval},
+        )
+        t.add_row([interval, tr.makespan / ref, tr.overhead_fraction() * 100])
+        result.metrics[f"interval/{interval}"] = tr.makespan / ref
+        result.metrics[f"interval/{interval}/overhead"] = tr.overhead_fraction() * 100
+    result.tables.append(t)
+
+    # ------------------------------------------------- c. solver choice
+    t = Table(
+        ["solver", "normalized time (randomdag)", "normalized time (health)"],
+        title="c. Knapsack DP vs density greedy (bw-1/2 / lat-4x)",
+        float_format="{:.2f}",
+    )
+    nvm_lat = nvm_latency_scaled(4.0)
+    ref_r = run_workload("randomdag", "dram-only", nvm, fast=fast).makespan
+    ref_h = run_workload("health", "dram-only", nvm_lat, fast=fast).makespan
+    for solver, polname in (("dp", "tahoe"), ("greedy", "tahoe-greedy")):
+        tr_r = run_workload("randomdag", polname, nvm, fast=fast)
+        tr_h = run_workload("health", polname, nvm_lat, fast=fast)
+        t.add_row([solver, tr_r.makespan / ref_r, tr_h.makespan / ref_h])
+        result.metrics[f"solver/{solver}/randomdag"] = tr_r.makespan / ref_r
+        result.metrics[f"solver/{solver}/health"] = tr_h.makespan / ref_h
+    result.tables.append(t)
+
+    # ------------------------------------------- d. profile instances/type
+    t = Table(
+        ["profile instances", "normalized time", "profiled tasks"],
+        title="d. Profiled instances per task type (cg, bw-1/2)",
+        float_format="{:.2f}",
+    )
+    ref = run_workload("cg", "dram-only", nvm, fast=fast).makespan
+    for k in (1, 2, 4):
+        pol = _variant(f"prof{k}", profile_instances=k)
+        tr = run_workload("cg", pol, nvm, fast=fast)
+        stats = tr.meta.get("manager_stats", {})
+        t.add_row([k, tr.makespan / ref, int(stats.get("profiled_tasks", 0))])
+        result.metrics[f"profile/{k}"] = tr.makespan / ref
+    result.tables.append(t)
+
+    # ------------------------------------------------ e. adaptation on/off
+    from repro.util.units import MIB
+
+    t = Table(
+        ["adaptation", "normalized time", "triggers"],
+        title="e. Adaptation under a mid-run regime shift (phaseshift, bw-1/2)",
+        float_format="{:.2f}",
+    )
+    cap = 28 * MIB  # room for exactly one of the two tables
+    ref = run_workload("phaseshift", "dram-only", nvm, dram_capacity=cap, fast=fast).makespan
+    for label, polname in (("on", "tahoe"), ("off", "tahoe-noadapt")):
+        tr = run_workload("phaseshift", polname, nvm, dram_capacity=cap, fast=fast)
+        stats = tr.meta.get("manager_stats", {})
+        t.add_row(
+            [label, tr.makespan / ref, int(stats.get("adaptation_triggers", 0))]
+        )
+        result.metrics[f"adaptation/{label}"] = tr.makespan / ref
+    result.tables.append(t)
+
+    # ---------------------------------------------- f. miss counter on/off
+    t = Table(
+        ["counters", "normalized time", "migrations"],
+        title="f. Combined counters vs loads/stores-only (cholesky, lat-4x)",
+        float_format="{:.2f}",
+    )
+    ref = run_workload("cholesky", "dram-only", nvm_lat, fast=fast).makespan
+    for label, polname in (("miss+ld/st", "tahoe"), ("ld/st only", "tahoe-rawcounters")):
+        tr = run_workload("cholesky", polname, nvm_lat, fast=fast)
+        t.add_row([label, tr.makespan / ref, tr.migration_count])
+        result.metrics[f"counters/{label}"] = tr.makespan / ref
+        result.metrics[f"counters/{label}/migrations"] = float(tr.migration_count)
+    result.tables.append(t)
+
+    # ------------------------------------------- g. parallel slack
+    t = Table(
+        ["parallel-slack haircut", "normalized time (mg)", "migrations"],
+        title="g. Additive-benefit slack discounting (mg, bw-1/2)",
+        float_format="{:.2f}",
+    )
+    ref = run_workload("mg", "dram-only", nvm, fast=fast).makespan
+    for label, variant in (
+        ("on", _variant("slack_on", use_parallel_slack=True)),
+        ("off", _variant("slack_off", use_parallel_slack=False)),
+    ):
+        tr = run_workload("mg", variant, nvm, fast=fast)
+        t.add_row([label, tr.makespan / ref, tr.migration_count])
+        result.metrics[f"slack/{label}"] = tr.makespan / ref
+    result.tables.append(t)
+
+    # ------------------------------------------- h. lane backlog cap
+    from repro.memory.presets import reram
+
+    t = Table(
+        ["lane backlog cap", "normalized time (health on reram)", "migrations"],
+        title="h. Helper-lane backlog cap (health, ReRAM: 1-8 MB/s writes)",
+        float_format="{:.2f}",
+    )
+    nvm_r = reram()
+    ref = run_workload("health", "dram-only", nvm_r, fast=fast).makespan
+    nv = run_workload("health", "nvm-only", nvm_r, fast=fast).makespan / ref
+    t.add_row(["(nvm-only reference)", nv, 0])
+    result.metrics["backlog/nvm-only"] = nv
+    for label, variant in (
+        ("0.25s (default)", _variant("cap_on", max_lane_backlog_s=0.25)),
+        ("unbounded", _variant("cap_off", max_lane_backlog_s=1e9)),
+    ):
+        tr = run_workload("health", variant, nvm_r, fast=fast)
+        t.add_row([label, tr.makespan / ref, tr.migration_count])
+        result.metrics[f"backlog/{label.split()[0]}"] = tr.makespan / ref
+    result.tables.append(t)
+
+    result.notes = (
+        "Expected: moderate lookahead best (too short starves overlap, too\n"
+        "long mispredicts); denser sampling costs overhead with little gain;\n"
+        "DP >= greedy; 2 profile instances suffice; adaptation recovers the\n"
+        "post-shift hot set; loads/stores-only migrates more for less; the\n"
+        "slack haircut protects wave-limited MG; on ReRAM both backlog\n"
+        "settings beat NVM-only by ~2x — the cap trades a little best-case\n"
+        "for protection against copy pile-ups when models mispredict."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run(fast=False).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,47 @@
+"""Registry of all experiments (id -> module)."""
+
+from __future__ import annotations
+
+from types import ModuleType
+
+from repro.experiments import (
+    e1_gap,
+    e10_energy_oracle,
+    e11_scheduler,
+    e2_object_sensitivity,
+    e3_headtohead,
+    e4_breakdown,
+    e5_migration_stats,
+    e6_scaling,
+    e7_dram_size,
+    e8_optane,
+    e9_ablations,
+)
+
+__all__ = ["EXPERIMENTS", "get_experiment"]
+
+EXPERIMENTS: dict[str, ModuleType] = {
+    m.EXPERIMENT.lower(): m
+    for m in (
+        e1_gap,
+        e2_object_sensitivity,
+        e3_headtohead,
+        e4_breakdown,
+        e5_migration_stats,
+        e6_scaling,
+        e7_dram_size,
+        e8_optane,
+        e9_ablations,
+        e10_energy_oracle,
+        e11_scheduler,
+    )
+}
+
+
+def get_experiment(key: str) -> ModuleType:
+    try:
+        return EXPERIMENTS[key.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {key!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None

@@ -1,0 +1,192 @@
+"""Shared machinery for the experiment suite.
+
+The central helper is :func:`run_workload`: build a workload, build a
+machine (DRAM capacity + NVM config), build a policy by name, execute,
+and return the trace summary.  DRAM-only reference runs automatically get
+a DRAM tier large enough for the full working set, as the paper's
+DRAM-only baseline does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+from repro.baselines import (
+    DRAMOnlyPolicy,
+    OracleStaticPolicy,
+    HWCacheMode,
+    NVMOnlyPolicy,
+    RandomPolicy,
+    SizeGreedyPolicy,
+    XMemPolicy,
+)
+from repro.core.manager import DataManagerPolicy, ManagerConfig
+from repro.core.partition import partition_graph
+from repro.core.placement import PlanConfig
+from repro.memory.device import MemoryDevice
+from repro.memory.hms import HeterogeneousMemorySystem
+from repro.memory.presets import DEFAULT_DRAM_CAPACITY, dram as dram_preset
+from repro.tasking.executor import Executor, ExecutorConfig
+from repro.tasking.trace import ExecutionTrace
+from repro.util.tables import Table
+from repro.util.units import MIB
+from repro.workloads import build
+
+__all__ = [
+    "ExperimentResult",
+    "POLICIES",
+    "make_policy",
+    "workload_params",
+    "run_workload",
+    "STANDARD_WORKLOADS",
+]
+
+#: The seven-workload roster used by the headline experiments (six
+#: kernels plus the production-code stand-in, mirroring the paper line's
+#: six NPB benchmarks + Nek5000 roster).
+STANDARD_WORKLOADS: tuple[str, ...] = (
+    "cg",
+    "heat",
+    "cholesky",
+    "lu",
+    "sparselu",
+    "health",
+    "nbody",
+)
+
+#: Reduced problem sizes for fast (CI) runs — same DAG shapes, fewer
+#: tiles/iterations.  ``full`` uses the builder defaults.
+_FAST_PARAMS: dict[str, dict[str, Any]] = {
+    "cg": {"iterations": 4, "n_chunks": 6},
+    "heat": {"grid": 6, "iterations": 8},
+    "cholesky": {"n_tiles": 8},
+    "lu": {"n_tiles": 8},
+    "sparselu": {"n_blocks": 10},
+    "health": {"steps": 8},
+    "nbody": {"n_tiles": 8, "steps": 3},
+    "mg": {"iterations": 4},
+    "fft": {"n_slices": 16, "iterations": 1},
+    "strassen": {"depth": 1},
+    "randomdag": {"layers": 8, "width": 12},
+    "bfs": {"n_chunks": 6, "levels": 6},
+    "kmeans": {"n_chunks": 6, "iterations": 5},
+    "stream": {},
+    "pchase": {},
+}
+
+
+def workload_params(name: str, fast: bool) -> dict[str, Any]:
+    """Parameter overrides for the given speed preset."""
+    return dict(_FAST_PARAMS.get(name, {})) if fast else {}
+
+
+def _tahoe(**overrides: Any) -> Callable[[], DataManagerPolicy]:
+    def factory() -> DataManagerPolicy:
+        opts = dict(overrides)
+        plan_kw = {
+            k: opts.pop(k)
+            for k in list(opts)
+            if k in PlanConfig.__dataclass_fields__
+        }
+        name = opts.pop("name", None)
+        cfg = ManagerConfig(plan=PlanConfig(**plan_kw), **opts)
+        return DataManagerPolicy(cfg, name=name)
+
+    return factory
+
+
+#: Named policy factories usable in every experiment.
+POLICIES: dict[str, Callable[[], Any]] = {
+    "dram-only": DRAMOnlyPolicy,
+    "nvm-only": NVMOnlyPolicy,
+    "xmem": XMemPolicy,
+    "hw-cache": HWCacheMode,
+    "random": RandomPolicy,
+    "size-greedy": SizeGreedyPolicy,
+    "oracle-static": OracleStaticPolicy,
+    "tahoe": DataManagerPolicy,
+    "tahoe-nodrw": _tahoe(distinguish_rw=False, name="tahoe-nodrw"),
+    "tahoe-rawcounters": _tahoe(use_miss_counter=False, name="tahoe-rawcounters"),
+    "tahoe-greedy": _tahoe(solver="greedy", name="tahoe-greedy"),
+    "tahoe-noinitial": _tahoe(enable_initial_placement=False, name="tahoe-noinitial"),
+    "tahoe-noadapt": _tahoe(enable_adaptation=False, name="tahoe-noadapt"),
+    "tahoe-globalonly": _tahoe(enable_local_search=False, name="tahoe-globalonly"),
+    "tahoe-localonly": _tahoe(enable_global_search=False, name="tahoe-localonly"),
+    "tahoe-part": _tahoe(partition_max_bytes=32 * MIB, name="tahoe-part"),
+}
+
+
+def make_policy(name: str) -> Any:
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise KeyError(f"unknown policy {name!r}; known: {sorted(POLICIES)}") from None
+
+
+def run_workload(
+    workload_name: str,
+    policy_name: str,
+    nvm: MemoryDevice,
+    dram_capacity: int = DEFAULT_DRAM_CAPACITY,
+    n_workers: int = 8,
+    fast: bool = True,
+    workload_overrides: dict[str, Any] | None = None,
+    exec_overrides: dict[str, Any] | None = None,
+) -> ExecutionTrace:
+    """Build + execute one (workload, policy, machine) combination."""
+    params = workload_params(workload_name, fast)
+    if workload_overrides:
+        params.update(workload_overrides)
+    workload = build(workload_name, **params)
+    policy = make_policy(policy_name)
+
+    graph = workload.graph
+    max_chunk = getattr(policy, "partition_max_bytes", None)
+    if max_chunk:
+        graph = partition_graph(graph, max_chunk)
+
+    if policy_name == "dram-only":
+        dram_dev = dram_preset(max(workload.total_bytes * 2, dram_capacity))
+    else:
+        dram_dev = dram_preset(dram_capacity)
+
+    cfg = ExecutorConfig(n_workers=n_workers)
+    if exec_overrides:
+        cfg = replace(cfg, **exec_overrides)
+    if policy_name == "hw-cache":
+        cfg = HWCacheMode.configure(cfg, dram_capacity)
+
+    hms = HeterogeneousMemorySystem(dram_dev, nvm)
+    trace = Executor(hms, cfg).run(graph, policy)
+    trace.meta.update(
+        workload=workload_name,
+        policy=policy.name,
+        nvm=nvm.name,
+        dram_capacity=dram_capacity,
+        n_workers=n_workers,
+    )
+    if hasattr(policy, "stats"):
+        trace.meta["manager_stats"] = dict(policy.stats)
+    return trace
+
+
+@dataclass
+class ExperimentResult:
+    """What every experiment's ``run`` returns."""
+
+    experiment: str
+    title: str
+    tables: list[Table] = field(default_factory=list)
+    #: flat key metrics for regression tests and EXPERIMENTS.md
+    metrics: dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        parts = [f"=== {self.experiment}: {self.title} ==="]
+        for t in self.tables:
+            parts.append(t.render())
+            parts.append("")
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)

@@ -1,0 +1,95 @@
+"""Statistical utilities for the experiment suite.
+
+The simulator is deterministic per seed, but the *sampling profiler's*
+noise stream is part of the modelled reality: a claim like "the manager
+closes 70 % of the gap" should survive different counter-noise draws.
+:func:`seed_sweep` re-runs a configuration across profiler seeds;
+:func:`bootstrap_ci` turns the samples into a mean and a percentile
+bootstrap confidence interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.memory.device import MemoryDevice
+from repro.util.rng import spawn_rng
+
+__all__ = ["Summary", "bootstrap_ci", "seed_sweep", "normalized_sweep"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    mean: float
+    lo: float
+    hi: float
+    n: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.3f} [{self.lo:.3f}, {self.hi:.3f}] (n={self.n})"
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    seed: int = 0,
+) -> Summary:
+    """Percentile-bootstrap confidence interval of the mean."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("bootstrap_ci needs at least one sample")
+    if arr.size == 1:
+        v = float(arr[0])
+        return Summary(v, v, v, 1)
+    rng = spawn_rng(seed, "bootstrap")
+    idx = rng.integers(0, arr.size, size=(n_boot, arr.size))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return Summary(float(arr.mean()), float(lo), float(hi), int(arr.size))
+
+
+def seed_sweep(
+    workload_name: str,
+    policy_name: str,
+    nvm: MemoryDevice,
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    fast: bool = True,
+    **run_kwargs: Any,
+) -> list[float]:
+    """Makespans of one configuration across profiler seeds."""
+    from repro.experiments.runner import run_workload
+
+    out = []
+    for seed in seeds:
+        exec_overrides = dict(run_kwargs.pop("exec_overrides", {}) or {})
+        exec_overrides["seed"] = int(seed)
+        tr = run_workload(
+            workload_name,
+            policy_name,
+            nvm,
+            fast=fast,
+            exec_overrides=exec_overrides,
+            **run_kwargs,
+        )
+        out.append(tr.makespan)
+    return out
+
+
+def normalized_sweep(
+    workload_name: str,
+    policy_name: str,
+    nvm: MemoryDevice,
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    fast: bool = True,
+) -> Summary:
+    """Bootstrap summary of policy/DRAM-only across profiler seeds."""
+    from repro.experiments.runner import run_workload
+
+    ref = run_workload(workload_name, "dram-only", nvm, fast=fast).makespan
+    values = [m / ref for m in seed_sweep(workload_name, policy_name, nvm, seeds, fast)]
+    return bootstrap_ci(values)

@@ -1,0 +1,106 @@
+"""Generic parameter-sweep harness.
+
+``sweep()`` runs the cartesian product of axis values through
+:func:`~repro.experiments.runner.run_workload` and returns long-form
+records (one dict per run) plus a pivot helper — the building block for
+custom studies beyond E1–E11, e.g.::
+
+    recs = sweep(
+        workload="heat",
+        policy=["nvm-only", "tahoe"],
+        nvm=[nvm_bandwidth_scaled(f) for f in (0.5, 0.25)],
+        dram_capacity=[128 * MIB, 256 * MIB],
+    )
+    print(pivot(recs, rows="dram_capacity", cols="policy", value="makespan"))
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Sequence
+
+from repro.memory.device import MemoryDevice
+from repro.util.tables import Table
+
+__all__ = ["sweep", "pivot"]
+
+
+def _as_list(v: Any) -> list:
+    if isinstance(v, (list, tuple)):
+        return list(v)
+    return [v]
+
+
+def sweep(
+    workload: str | Sequence[str],
+    policy: str | Sequence[str],
+    nvm: MemoryDevice | Sequence[MemoryDevice],
+    fast: bool = True,
+    **axes: Any,
+) -> list[dict[str, Any]]:
+    """Run every combination; returns one record per run.
+
+    Extra keyword axes are forwarded to ``run_workload`` (scalars or value
+    lists): ``dram_capacity``, ``n_workers``, ``workload_overrides``,
+    ``exec_overrides``.
+    """
+    from repro.experiments.runner import run_workload
+
+    names = ["workload", "policy", "nvm"] + sorted(axes)
+    value_lists = (
+        [_as_list(workload), _as_list(policy), _as_list(nvm)]
+        + [_as_list(axes[k]) for k in sorted(axes)]
+    )
+    records: list[dict[str, Any]] = []
+    for combo in itertools.product(*value_lists):
+        kwargs = dict(zip(names, combo))
+        wl = kwargs.pop("workload")
+        pol = kwargs.pop("policy")
+        dev = kwargs.pop("nvm")
+        trace = run_workload(wl, pol, dev, fast=fast, **kwargs)
+        rec: dict[str, Any] = {
+            "workload": wl,
+            "policy": pol,
+            "nvm": dev.name,
+            **{k: _label(v) for k, v in kwargs.items()},
+            "makespan": trace.makespan,
+            "migrations": trace.migration_count,
+            "migrated_mib": trace.migrated_mib,
+            "overlap": trace.migration_overlap(),
+            "overhead_fraction": trace.overhead_fraction(),
+        }
+        records.append(rec)
+    return records
+
+
+def _label(v: Any) -> Any:
+    if isinstance(v, dict):
+        return ",".join(f"{k}={val}" for k, val in sorted(v.items()))
+    return v
+
+
+def pivot(
+    records: Iterable[dict[str, Any]],
+    rows: str,
+    cols: str,
+    value: str = "makespan",
+) -> Table:
+    """Arrange sweep records into a rows x cols table of ``value``."""
+    records = list(records)
+    row_keys = sorted({r[rows] for r in records}, key=str)
+    col_keys = sorted({r[cols] for r in records}, key=str)
+    table = Table([rows] + [str(c) for c in col_keys], title=f"{value} by {rows} x {cols}")
+    for rk in row_keys:
+        cells: list[Any] = [rk]
+        for ck in col_keys:
+            matches = [
+                r[value] for r in records if r[rows] == rk and r[cols] == ck
+            ]
+            if not matches:
+                cells.append("-")
+            elif len(matches) == 1:
+                cells.append(matches[0])
+            else:
+                cells.append(sum(matches) / len(matches))
+        table.add_row(cells)
+    return table

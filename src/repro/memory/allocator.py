@@ -1,0 +1,140 @@
+"""First-fit free-list allocator with coalescing.
+
+The paper's user-level DRAM service bounds allocations within the DRAM
+allowance and hands out address ranges; this allocator plays that role per
+device.  It is deliberately simple (the paper notes data movement is
+infrequent so allocator sophistication does not pay), but it does coalesce
+on free so long runs of migrations do not strand the DRAM tier behind
+fragmentation, and it exposes fragmentation statistics for tests.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass
+
+from repro.util.validation import require_positive
+
+__all__ = ["FreeListAllocator", "OutOfMemoryError", "Extent"]
+
+
+class OutOfMemoryError(Exception):
+    """Raised when an allocation cannot be satisfied from the free list."""
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous address range ``[offset, offset + size)``."""
+
+    offset: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+class FreeListAllocator:
+    """First-fit allocator over a flat ``capacity``-byte address space."""
+
+    def __init__(self, capacity: int, alignment: int = 64):
+        require_positive(capacity, "capacity")
+        require_positive(alignment, "alignment")
+        self.capacity = int(capacity)
+        self.alignment = int(alignment)
+        # Free list kept sorted by offset: list of [offset, size].
+        self._free: list[list[int]] = [[0, self.capacity]]
+        self._allocated: dict[int, int] = {}  # offset -> size
+
+    # ------------------------------------------------------------------
+    def _round_up(self, size: int) -> int:
+        a = self.alignment
+        return (int(size) + a - 1) // a * a
+
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; return the offset.
+
+        Raises :class:`OutOfMemoryError` when no single free extent fits
+        (even if total free space would suffice — external fragmentation
+        is modelled, not papered over).
+        """
+        require_positive(size, "size")
+        need = self._round_up(size)
+        for entry in self._free:
+            off, avail = entry
+            if avail >= need:
+                self._allocated[off] = need
+                if avail == need:
+                    self._free.remove(entry)
+                else:
+                    entry[0] = off + need
+                    entry[1] = avail - need
+                return off
+        raise OutOfMemoryError(
+            f"cannot allocate {need} bytes: free={self.free_bytes}, "
+            f"largest extent={self.largest_free_extent}"
+        )
+
+    def free(self, offset: int) -> int:
+        """Free the allocation at ``offset``; return its size."""
+        try:
+            size = self._allocated.pop(offset)
+        except KeyError:
+            raise KeyError(f"offset {offset} is not allocated") from None
+        insort(self._free, [offset, size])
+        self._coalesce()
+        return size
+
+    def _coalesce(self) -> None:
+        merged: list[list[int]] = []
+        for off, size in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == off:
+                merged[-1][1] += size
+            else:
+                merged.append([off, size])
+        self._free = merged
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._allocated.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.used_bytes
+
+    @property
+    def largest_free_extent(self) -> int:
+        return max((size for _, size in self._free), default=0)
+
+    @property
+    def fragmentation(self) -> float:
+        """1 - largest_free/total_free; 0 when free space is one extent."""
+        free = self.free_bytes
+        if free == 0:
+            return 0.0
+        return 1.0 - self.largest_free_extent / free
+
+    def fits(self, size: int) -> bool:
+        """Whether an allocation of ``size`` bytes would currently succeed."""
+        need = self._round_up(size)
+        return any(avail >= need for _, avail in self._free)
+
+    def check_invariants(self) -> None:
+        """Assert internal consistency (used by property-based tests)."""
+        total_free = sum(size for _, size in self._free)
+        assert total_free + self.used_bytes == self.capacity, "space leak"
+        prev_end = -1
+        for off, size in self._free:
+            assert size > 0, "empty free extent"
+            assert off > prev_end, "free list out of order or overlapping"
+            prev_end = off + size - 1
+        # Allocations must not overlap free extents or each other.
+        spans = sorted(
+            [(o, o + s, "A") for o, s in self._allocated.items()]
+            + [(o, o + s, "F") for o, s in self._free]
+        )
+        for (a_start, a_end, _), (b_start, _b_end, _) in zip(spans, spans[1:]):
+            assert a_end <= b_start, "overlapping extents"

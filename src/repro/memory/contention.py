@@ -1,0 +1,54 @@
+"""Bandwidth contention between concurrent tasks.
+
+When several workers stream from the same device at once they share its
+bandwidth.  We model processor sharing with a small concurrency *bonus*:
+real memory controllers extract more aggregate bandwidth from multiple
+request streams (bank/channel parallelism) up to saturation.  The
+per-stream bandwidth multiplier for ``n`` concurrent streams is::
+
+    share(n) = min(1, saturation_streams / n) ** rolloff   (n >= 1)
+
+``saturation_streams`` is how many streams the device sustains at full
+per-stream bandwidth; beyond it, per-stream bandwidth decays like ``1/n``
+(``rolloff=1``) or more gently.  Latency-bound traffic is unaffected —
+contention applies only to the bandwidth term of the timing model, which
+is exactly why bandwidth-sensitive objects hurt more on NVM under high
+task parallelism (a first-order effect the task-parallel paper targets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require_positive
+
+__all__ = ["ContentionModel"]
+
+
+@dataclass(frozen=True)
+class ContentionModel:
+    """Per-stream bandwidth share as a function of concurrent streams."""
+
+    #: The device bandwidth figures are per-stream capabilities; a modern
+    #: controller sustains several such streams at full rate (channel/bank
+    #: parallelism) before per-stream sharing kicks in.
+    saturation_streams: float = 6.0
+    rolloff: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.saturation_streams, "saturation_streams")
+        require_positive(self.rolloff, "rolloff")
+
+    def share(self, n_streams: int) -> float:
+        """Fraction of full device bandwidth each of ``n_streams`` gets."""
+        n = max(1, int(n_streams))
+        raw = min(1.0, self.saturation_streams / n)
+        return raw**self.rolloff
+
+    def slowdown(self, n_streams: int) -> float:
+        """Multiplier on the bandwidth *time* term (>= 1)."""
+        return 1.0 / self.share(n_streams)
+
+
+#: No contention at all — handy for unit tests and model derivations.
+NO_CONTENTION = ContentionModel(saturation_streams=1e12)

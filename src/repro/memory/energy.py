@@ -1,0 +1,129 @@
+"""Energy and endurance accounting (the paper's power motivation).
+
+The introduction's case for NVM is density and *near-zero static power*;
+a placement policy therefore trades DRAM's speed against its refresh/
+static draw.  This module computes, from an execution trace:
+
+- **dynamic energy**: per-byte access energy per device and direction
+  (NVM writes are the expensive ones), applied to the trace's ground-truth
+  traffic and to migration copies;
+- **static energy**: device power x makespan (DRAM pays refresh for its
+  whole capacity; NVM pays near nothing);
+- **endurance**: bytes written per NVM cell-lifetime proxy — the write
+  amplification a migration-happy policy adds to a write-limited device.
+
+Numbers follow the literature's ballparks (DRAM ~0.5 nJ/B dynamic,
+~0.4 W/GiB static; PCM-class writes ~2-10 nJ/B, static ~0); they are
+configurable per study.  The model is deliberately first-order: energy
+follows traffic and time, which the simulator tracks exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.device import DeviceKind, MemoryDevice
+from repro.tasking.trace import ExecutionTrace
+from repro.util.units import GIB
+from repro.util.validation import require_nonnegative
+
+__all__ = ["EnergyModel", "EnergyReport"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """First-order per-device energy parameters."""
+
+    #: dynamic energy per byte read/written (joules/byte)
+    dram_read_energy: float = 0.5e-9
+    dram_write_energy: float = 0.6e-9
+    nvm_read_energy: float = 1.0e-9
+    nvm_write_energy: float = 6.0e-9
+    #: static power per GiB of capacity (watts) — DRAM refresh vs NVM ~0
+    dram_static_w_per_gib: float = 0.4
+    nvm_static_w_per_gib: float = 0.01
+
+    def __post_init__(self) -> None:
+        for name in (
+            "dram_read_energy",
+            "dram_write_energy",
+            "nvm_read_energy",
+            "nvm_write_energy",
+            "dram_static_w_per_gib",
+            "nvm_static_w_per_gib",
+        ):
+            require_nonnegative(getattr(self, name), name)
+
+    # ------------------------------------------------------------------
+    def access_energy(self, device: MemoryDevice, read_bytes: float, write_bytes: float) -> float:
+        if device.kind is DeviceKind.DRAM:
+            return read_bytes * self.dram_read_energy + write_bytes * self.dram_write_energy
+        return read_bytes * self.nvm_read_energy + write_bytes * self.nvm_write_energy
+
+    def static_energy(self, device: MemoryDevice, seconds: float) -> float:
+        gib = device.capacity_bytes / GIB
+        w = (
+            self.dram_static_w_per_gib
+            if device.kind is DeviceKind.DRAM
+            else self.nvm_static_w_per_gib
+        )
+        return w * gib * seconds
+
+
+@dataclass
+class EnergyReport:
+    """Per-run energy/endurance accounting."""
+
+    dynamic_j: float = 0.0
+    static_j: float = 0.0
+    migration_j: float = 0.0
+    nvm_bytes_written: float = 0.0  #: endurance proxy
+
+    @property
+    def total_j(self) -> float:
+        return self.dynamic_j + self.static_j + self.migration_j
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace: ExecutionTrace,
+        dram: MemoryDevice,
+        nvm: MemoryDevice,
+        model: EnergyModel | None = None,
+    ) -> "EnergyReport":
+        """Account a finished run.
+
+        Task traffic goes to the device each object resided on at task
+        start (recorded in the trace); migration copies charge a read on
+        the source and a write on the destination.
+        """
+        model = model or EnergyModel()
+        devices = {dram.name: dram, nvm.name: nvm}
+        rep = cls()
+        for rec in trace.records:
+            for obj, acc in rec.task.accesses.items():
+                dev = devices.get(rec.residency.get(obj.uid, nvm.name), nvm)
+                rb, wb = acc.read_traffic_bytes, acc.write_traffic_bytes
+                rep.dynamic_j += model.access_energy(dev, rb, wb)
+                if dev.kind is DeviceKind.NVM:
+                    rep.nvm_bytes_written += wb
+        if trace.migrations is not None:
+            for m in trace.migrations.records:
+                src = devices.get(m.src, nvm)
+                dst = devices.get(m.dst, nvm)
+                rep.migration_j += model.access_energy(src, m.nbytes, 0)
+                rep.migration_j += model.access_energy(dst, 0, m.nbytes)
+                if dst.kind is DeviceKind.NVM:
+                    rep.nvm_bytes_written += m.nbytes
+        rep.static_j += model.static_energy(dram, trace.makespan)
+        rep.static_j += model.static_energy(nvm, trace.makespan)
+        return rep
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "dynamic_j": self.dynamic_j,
+            "static_j": self.static_j,
+            "migration_j": self.migration_j,
+            "total_j": self.total_j,
+            "nvm_mib_written": self.nvm_bytes_written / (1 << 20),
+        }

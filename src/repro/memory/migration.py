@@ -1,0 +1,175 @@
+"""Migration cost model and helper-thread timeline.
+
+The paper hides migration behind a helper thread that runs concurrently
+with the application; cost is ``data_size / mem_copy_bw`` minus whatever
+overlaps with computation.  Here the :class:`MigrationEngine` is that
+helper thread in virtual time: a single serial lane of copies.  The
+executor asks it to schedule copies at their earliest dependency-safe
+point, and later asks how much of each copy failed to overlap (i.e. landed
+on the critical path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.device import MemoryDevice
+from repro.util.units import US
+from repro.util.validation import require_nonnegative
+
+__all__ = ["copy_time", "MigrationRecord", "MigrationEngine"]
+
+#: Fixed software overhead per migration (queueing, page remap, pointer
+#: update).  Small but non-zero so migrating thousands of tiny chunks is
+#: correctly penalized — this is what makes naive partitioning lose.
+DEFAULT_MIGRATION_OVERHEAD_S: float = 20.0 * US
+
+
+def copy_time(
+    nbytes: int,
+    src: MemoryDevice,
+    dst: MemoryDevice,
+    overhead_s: float = DEFAULT_MIGRATION_OVERHEAD_S,
+) -> float:
+    """Virtual time to copy ``nbytes`` from ``src`` to ``dst``.
+
+    The copy streams at the minimum of the source read bandwidth and the
+    destination write bandwidth (``mem_copy_bw`` in the paper's Eq. 6).
+    """
+    require_nonnegative(nbytes, "nbytes")
+    bw = min(src.read_bandwidth, dst.write_bandwidth)
+    return nbytes / bw + overhead_s
+
+
+@dataclass
+class MigrationRecord:
+    """One completed (or scheduled) migration, for traces and Table-5 stats."""
+
+    obj_uid: int
+    nbytes: int
+    src: str
+    dst: str
+    request_time: float  #: when the runtime issued the request
+    start_time: float  #: when the helper thread began copying
+    end_time: float  #: when the copy finished
+    needed_by: float = float("inf")  #: when the application first needs the object
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def exposed(self) -> float:
+        """Portion of the copy that delayed the application (not overlapped)."""
+        return max(0.0, self.end_time - max(self.needed_by, self.start_time)) if (
+            self.needed_by < self.end_time
+        ) else 0.0
+
+    @property
+    def overlapped_fraction(self) -> float:
+        """Fraction of copy time hidden behind computation."""
+        if self.duration <= 0:
+            return 1.0
+        return 1.0 - min(self.duration, self.exposed) / self.duration
+
+
+class MigrationEngine:
+    """A single helper thread's copy lane in virtual time.
+
+    Copies are serviced FIFO: each starts at
+    ``max(requested_start, lane_free_time)`` and occupies the lane for its
+    copy time.  ``available_at(uid)`` tells the executor when an object's
+    most recent migration lands — a task that needs the object blocks until
+    then (the queue-as-synchronization mechanism in the paper).
+    """
+
+    def __init__(self, overhead_s: float = DEFAULT_MIGRATION_OVERHEAD_S):
+        self.overhead_s = overhead_s
+        self._lane_free_at: float = 0.0
+        self._available_at: dict[int, float] = {}
+        self._last_record: dict[int, MigrationRecord] = {}
+        self.records: list[MigrationRecord] = []
+
+    def schedule(
+        self,
+        obj_uid: int,
+        nbytes: int,
+        src: MemoryDevice,
+        dst: MemoryDevice,
+        request_time: float,
+        earliest_start: float | None = None,
+    ) -> MigrationRecord:
+        """Enqueue a copy; returns its record (end_time = completion)."""
+        start = max(
+            self._lane_free_at,
+            request_time if earliest_start is None else max(earliest_start, request_time),
+        )
+        end = start + copy_time(nbytes, src, dst, self.overhead_s)
+        self._lane_free_at = end
+        rec = MigrationRecord(
+            obj_uid=obj_uid,
+            nbytes=nbytes,
+            src=src.name,
+            dst=dst.name,
+            request_time=request_time,
+            start_time=start,
+            end_time=end,
+        )
+        self.records.append(rec)
+        self._available_at[obj_uid] = end
+        self._last_record[obj_uid] = rec
+        return rec
+
+    @property
+    def lane_free_at(self) -> float:
+        """Virtual time at which the helper thread's copy lane drains."""
+        return self._lane_free_at
+
+    def available_at(self, obj_uid: int) -> float:
+        """Virtual time at which the object's last migration completes.
+
+        Objects never migrated are available immediately (time 0).
+        """
+        return self._available_at.get(obj_uid, 0.0)
+
+    def in_flight_source(self, obj_uid: int, time: float) -> str | None:
+        """Name of the device the object is still being copied *from* at
+        ``time`` — readers may keep using that copy until the migration
+        lands (copy-then-redirect), while writers must wait."""
+        if self._available_at.get(obj_uid, 0.0) <= time:
+            return None
+        rec = self._last_record.get(obj_uid)
+        return rec.src if rec is not None else None
+
+    def note_first_use(self, obj_uid: int, time: float) -> None:
+        """Record when the application first touched the object after its
+        latest migration; drives the %overlap statistic."""
+        for rec in reversed(self.records):
+            if rec.obj_uid == obj_uid and rec.needed_by == float("inf"):
+                rec.needed_by = time
+                break
+
+    # ------------------------------------------------------------------
+    # Statistics (Table-5 analogues)
+    # ------------------------------------------------------------------
+    @property
+    def migration_count(self) -> int:
+        return len(self.records)
+
+    @property
+    def migrated_bytes(self) -> int:
+        return sum(r.nbytes for r in self.records)
+
+    def total_copy_time(self) -> float:
+        return sum(r.duration for r in self.records)
+
+    def exposed_time(self) -> float:
+        """Copy time that was *not* hidden behind computation."""
+        return sum(min(r.duration, r.exposed) for r in self.records)
+
+    def overlap_fraction(self) -> float:
+        """Fraction of total copy time overlapped with computation."""
+        total = self.total_copy_time()
+        if total <= 0:
+            return 1.0
+        return 1.0 - self.exposed_time() / total

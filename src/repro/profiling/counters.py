@@ -1,0 +1,66 @@
+"""Exact (offline) counters — the PIN-instrumentation analogue.
+
+The X-Mem-class baseline profiles applications *offline* with binary
+instrumentation, which sees every access exactly (no sampling noise) but
+costs a separate profiling run and cannot react to runtime variation.
+:class:`GroundTruthCounters` provides that view: exact aggregate per-object
+load/store counts over a whole task graph.
+
+The online data manager must NOT use this class — tests enforce that its
+decisions are reachable from :class:`~repro.profiling.sampler.TaskProfile`
+data alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tasking.graph import TaskGraph
+
+__all__ = ["ObjectCounts", "GroundTruthCounters"]
+
+
+@dataclass
+class ObjectCounts:
+    """Exact aggregate counts for one data object across a graph."""
+
+    loads: int = 0
+    stores: int = 0
+    tasks: int = 0  #: number of tasks touching the object
+    size_bytes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.loads + self.stores
+
+    @property
+    def density(self) -> float:
+        """Accesses per byte — X-Mem's hotness metric."""
+        return self.accesses / self.size_bytes if self.size_bytes else 0.0
+
+
+@dataclass
+class GroundTruthCounters:
+    """Offline full-trace aggregation over a task graph."""
+
+    per_object: dict[int, ObjectCounts] = field(default_factory=dict)
+
+    @classmethod
+    def profile_graph(cls, graph: TaskGraph) -> "GroundTruthCounters":
+        out = cls()
+        for task in graph.tasks:
+            for obj, acc in task.accesses.items():
+                c = out.per_object.setdefault(
+                    obj.uid, ObjectCounts(size_bytes=obj.size_bytes)
+                )
+                c.loads += acc.loads
+                c.stores += acc.stores
+                c.tasks += 1
+        return out
+
+    def hottest_first(self) -> list[int]:
+        """Object uids ranked by access density (accesses/byte), desc."""
+        return sorted(
+            self.per_object,
+            key=lambda uid: (-self.per_object[uid].density, uid),
+        )

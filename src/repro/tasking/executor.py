@@ -1,0 +1,420 @@
+"""Event-driven multi-worker executor over the heterogeneous memory system.
+
+This is the ground-truth machine of the reproduction.  It simulates, in
+virtual time:
+
+- ``n_workers`` workers pulling ready tasks from a scheduling policy;
+- per-task durations from compute time plus roofline memory time on the
+  device each object *currently* resides on, with bandwidth contention;
+- a helper-thread migration lane (the :class:`MigrationEngine`): placement
+  policies request copies, tasks stall until the copies of data they touch
+  have landed;
+- software overhead charged by the placement policy (profiling, modeling,
+  queue synchronization) — the "pure runtime cost" of the paper.
+
+Placement policies implement :class:`PlacementPolicy` and interact with
+the machine only through :class:`ExecContext`; in particular they never
+read ground-truth footprints — profiling goes through the sampling
+profiler (``ctx.profile``), preserving the paper's measurement limits.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.memory.cache import DRAMCacheModel
+from repro.memory.contention import ContentionModel
+from repro.memory.device import DeviceKind, MemoryDevice
+from repro.memory.hms import HeterogeneousMemorySystem
+from repro.memory.migration import (
+    DEFAULT_MIGRATION_OVERHEAD_S,
+    MigrationEngine,
+    MigrationRecord,
+)
+from repro.tasking.dataobj import DataObject
+from repro.tasking.graph import TaskGraph
+from repro.tasking.scheduler import FIFOPolicy, SchedulingPolicy
+from repro.tasking.task import Task
+from repro.tasking.trace import ExecutionTrace, TaskRecord
+
+__all__ = ["ExecutorConfig", "ExecContext", "PlacementPolicy", "Executor"]
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Knobs of the simulated machine."""
+
+    n_workers: int = 4
+    contention: ContentionModel = field(default_factory=ContentionModel)
+    #: Fraction of the smaller of (compute, memory) time hidden by overlap
+    #: within a task.  The runtime's analytic models ignore this — their CF
+    #: constant factors absorb it, as in the paper.
+    overlap_factor: float = 0.25
+    #: When set, ignore software placement entirely and time every access
+    #: through the hardware DRAM-cache model (Memory Mode baseline).
+    dram_cache: DRAMCacheModel | None = None
+    #: Sampling interval (CPU cycles) and clock for the emulated counters.
+    sampling_interval_cycles: int = 1000
+    cpu_ghz: float = 2.4
+    seed: int = 12345
+    migration_overhead_s: float = DEFAULT_MIGRATION_OVERHEAD_S
+
+
+@runtime_checkable
+class PlacementPolicy(Protocol):
+    """Hook interface for data-placement strategies."""
+
+    name: str
+
+    def on_run_start(self, ctx: "ExecContext") -> None:
+        """Called once before time 0; do initial placement here."""
+
+    def before_task(self, task: Task, ctx: "ExecContext", now: float) -> float:
+        """Called when a worker picks ``task``; may request migrations.
+        Returns software overhead (seconds) charged to the worker."""
+
+    def after_task(self, task: Task, record: TaskRecord, ctx: "ExecContext") -> float:
+        """Called when ``task`` completes; may profile/adapt.
+        Returns software overhead (seconds) charged to the worker."""
+
+
+class ExecContext:
+    """The window through which a placement policy sees the machine."""
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        hms: HeterogeneousMemorySystem,
+        engine: MigrationEngine,
+        config: ExecutorConfig,
+    ):
+        self.graph = graph
+        self.hms = hms
+        self.engine = engine
+        self.config = config
+        #: finish time of the latest dispatched task touching each object —
+        #: the earliest dependency-safe start for a migration of that object.
+        self.last_use_finish: dict[int, float] = {}
+        #: spawn-order index of the first not-yet-dispatched task; together
+        #: with ``_dispatched`` this defines the lookahead frontier.
+        self._next_index = 0
+        self._dispatched: set[int] = set()
+        from repro.profiling.sampler import SamplingProfiler
+
+        self._profiler = SamplingProfiler(
+            interval_cycles=config.sampling_interval_cycles,
+            cpu_ghz=config.cpu_ghz,
+            seed=config.seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Facilities for policies
+    # ------------------------------------------------------------------
+    @property
+    def dram(self) -> MemoryDevice:
+        return self.hms.dram
+
+    @property
+    def nvm(self) -> MemoryDevice:
+        return self.hms.nvm
+
+    def place_initial(self, obj: DataObject, device: MemoryDevice | str) -> None:
+        """Free-of-charge placement before time 0 (initial data placement)."""
+        if self.hms.is_placed(obj):
+            self.hms.move(obj, device)
+        else:
+            self.hms.allocate(obj, device)
+
+    def request_migration(
+        self,
+        obj: DataObject,
+        device: MemoryDevice | str,
+        now: float,
+        earliest_start: float | None = None,
+    ) -> MigrationRecord | None:
+        """Move ``obj`` to ``device`` via the helper thread.
+
+        The placement flips immediately in the state machine; tasks that
+        touch the object stall until the copy lands.  Returns ``None`` when
+        the object is already there.  The copy never starts before the
+        object's last dependency-safe point (``last_use_finish``).
+        """
+        src = self.hms.device_of(obj)
+        dst_name = device.name if isinstance(device, MemoryDevice) else device
+        if src.name == dst_name:
+            return None
+        dst = self.hms.dram if dst_name == self.hms.dram.name else self.hms.nvm
+        # Clean eviction: an unmodified DRAM copy still matches its NVM
+        # shadow, so demotion is a remap, not a copy.
+        if dst.name == self.hms.nvm.name and not self.hms.is_dirty(obj):
+            self.hms.move(obj, dst)
+            return None
+        safe = self.last_use_finish.get(obj.uid, 0.0)
+        start = max(safe, earliest_start if earliest_start is not None else 0.0)
+        self.hms.move(obj, dst)
+        return self.engine.schedule(
+            obj.uid, obj.size_bytes, src, dst, request_time=now, earliest_start=start
+        )
+
+    def upcoming(self, window: int) -> list[Task]:
+        """The next ``window`` not-yet-dispatched tasks in spawn order —
+        the lookahead the proactive migration mechanism works with."""
+        out: list[Task] = []
+        for t in self.graph.tasks[self._next_index :]:
+            if t.tid not in self._dispatched:
+                out.append(t)
+                if len(out) >= window:
+                    break
+        return out
+
+    def remaining(self) -> list[Task]:
+        return [
+            t
+            for t in self.graph.tasks[self._next_index :]
+            if t.tid not in self._dispatched
+        ]
+
+    def profile(self, task: Task, record: TaskRecord):
+        """Sample the task through the emulated hardware counters.
+
+        This is the only sanctioned path from ground truth to a policy:
+        it returns undercount-corrected but noisy per-object load/store
+        counts and active fractions, like PEBS/IBS sampling would.
+        """
+        return self._profiler.sample_task(
+            task, record.duration, device_of=self.hms.device_of
+        )
+
+    def migration_backlog(self, now: float) -> float:
+        """How far behind the helper thread's copy lane currently is —
+        a copy requested now cannot start before ``now + backlog``."""
+        return max(0.0, self.engine.lane_free_at - now)
+
+    def profiling_overhead(self, duration: float) -> float:
+        """Software cost of having sampled a task of ``duration`` seconds
+        (the policy charges this to the worker as overhead)."""
+        return self._profiler.overhead_time(duration)
+
+    # ------------------------------------------------------------------
+    # Executor-side bookkeeping
+    # ------------------------------------------------------------------
+    def _note_dispatch(self, task: Task, finish: float) -> None:
+        for obj in task.accesses:
+            prev = self.last_use_finish.get(obj.uid, 0.0)
+            if finish > prev:
+                self.last_use_finish[obj.uid] = finish
+        # Advance the spawn-order frontier past the dispatched prefix.
+        self._dispatched.add(task.tid)
+        tasks = self.graph.tasks
+        while (
+            self._next_index < len(tasks)
+            and tasks[self._next_index].tid in self._dispatched
+        ):
+            self._dispatched.discard(tasks[self._next_index].tid)
+            self._next_index += 1
+
+
+class Executor:
+    """Runs one task graph to completion in virtual time."""
+
+    def __init__(
+        self,
+        hms: HeterogeneousMemorySystem,
+        config: ExecutorConfig | None = None,
+        scheduler: SchedulingPolicy | None = None,
+    ):
+        self.hms = hms
+        self.config = config or ExecutorConfig()
+        self.scheduler = scheduler or FIFOPolicy()
+
+    # ------------------------------------------------------------------
+    def run(self, graph: TaskGraph, policy: PlacementPolicy) -> ExecutionTrace:
+        cfg = self.config
+        engine = MigrationEngine(overhead_s=cfg.migration_overhead_s)
+        ctx = ExecContext(graph, self.hms, engine, cfg)
+
+        # Initial placement: the policy places what it wants; everything
+        # else lands on the NVM backing tier.
+        policy.on_run_start(ctx)
+        for obj in graph.objects:
+            if not self.hms.is_placed(obj):
+                self.hms.allocate(obj, self.hms.nvm)
+
+        working_set = graph.total_object_bytes()
+        self.scheduler.prepare(graph)
+        if hasattr(self.scheduler, "bind"):
+            self.scheduler.bind(self.hms)
+        indegree = {t.tid: graph.in_degree(t) for t in graph.tasks}
+        for t in graph.tasks:
+            if indegree[t.tid] == 0:
+                self.scheduler.push(t)
+
+        # (free_at, worker_id) heap and (finish, tid) completion heap.
+        workers = [(0.0, w) for w in range(cfg.n_workers)]
+        heapq.heapify(workers)
+        completions: list[tuple[float, int]] = []
+        running: list[tuple[float, Task, frozenset[str]]] = []  # (finish, task, devices)
+        records: list[TaskRecord] = []
+        n_done = 0
+        n_total = len(graph.tasks)
+        completed: set[int] = set()
+
+        # Time at which each task became ready (roots at 0): a worker that
+        # drained a *future* completion must not dispatch the enabled task
+        # in its own past.
+        ready_at: dict[int, float] = {
+            t.tid: 0.0 for t in graph.tasks if indegree[t.tid] == 0
+        }
+
+        def drain_completions(up_to: float) -> None:
+            nonlocal n_done
+            while completions and completions[0][0] <= up_to + 1e-15:
+                t_done, tid = heapq.heappop(completions)
+                done = graph.task(tid)
+                completed.add(tid)
+                n_done += 1
+                for succ in graph.successors(done):
+                    indegree[succ.tid] -= 1
+                    if indegree[succ.tid] == 0:
+                        ready_at[succ.tid] = t_done
+                        self.scheduler.push(succ)
+
+        while n_done < n_total:
+            free_at, wid = heapq.heappop(workers)
+            drain_completions(free_at)
+            if n_done >= n_total:
+                break
+            if len(self.scheduler) == 0:
+                if not completions:
+                    raise RuntimeError(
+                        "deadlock: no ready tasks and no pending completions "
+                        "(cyclic graph or lost wakeup)"
+                    )
+                next_t = completions[0][0]
+                drain_completions(next_t)
+                heapq.heappush(workers, (max(free_at, next_t), wid))
+                continue
+
+            task = self.scheduler.pop()
+            now = max(free_at, ready_at.get(task.tid, 0.0))
+            overhead_before = policy.before_task(task, ctx, now)
+            t0 = now + overhead_before
+
+            # Writers block until in-flight migrations of their data land;
+            # readers proceed against the source copy (copy-then-redirect),
+            # paying source-device timing until the copy completes.
+            # Zero-traffic accesses (barrier bookkeeping edges) don't touch
+            # memory, so they neither stall nor count as first use.
+            avail = 0.0
+            for obj, acc in task.accesses.items():
+                if acc.accesses == 0:
+                    continue
+                if acc.mode.writes:
+                    self.hms.mark_dirty(obj)
+                a = engine.available_at(obj.uid)
+                if a > t0:
+                    if acc.mode.writes:
+                        if a > avail:
+                            avail = a
+                        engine.note_first_use(obj.uid, t0)
+                else:
+                    engine.note_first_use(obj.uid, t0)
+            start_exec = max(t0, avail)
+            stall = start_exec - t0
+
+            compute, mem = self._task_times(task, start_exec, running, working_set, engine)
+            exec_time = max(compute, mem) + (1.0 - cfg.overlap_factor) * min(compute, mem)
+            finish = start_exec + exec_time
+
+            record = TaskRecord(
+                task=task,
+                worker=wid,
+                start=now,
+                finish=finish,
+                compute_time=compute,
+                memory_time=mem,
+                overhead_time=overhead_before,
+                stall_time=stall,
+                residency={o.uid: self.hms.placement_of(o).device for o in task.accesses},
+            )
+            overhead_after = policy.after_task(task, record, ctx)
+            worker_free = finish + overhead_after
+            record = TaskRecord(
+                task=record.task,
+                worker=record.worker,
+                start=record.start,
+                finish=worker_free,
+                compute_time=record.compute_time,
+                memory_time=record.memory_time,
+                overhead_time=overhead_before + overhead_after,
+                stall_time=record.stall_time,
+                residency=record.residency,
+            )
+            records.append(record)
+
+            touched = frozenset(
+                self.hms.placement_of(o).device for o in task.accesses
+            )
+            running.append((finish, task, touched))
+            ctx._note_dispatch(task, finish)
+            heapq.heappush(completions, (worker_free, task.tid))
+            heapq.heappush(workers, (worker_free, wid))
+
+        makespan = max((r.finish for r in records), default=0.0)
+        trace = ExecutionTrace(
+            records=records,
+            migrations=engine,
+            makespan=makespan,
+            n_workers=cfg.n_workers,
+        )
+        return trace
+
+    # ------------------------------------------------------------------
+    def _task_times(
+        self,
+        task: Task,
+        start: float,
+        running: list[tuple[float, Task, frozenset[str]]],
+        working_set: int,
+        engine: MigrationEngine | None = None,
+    ) -> tuple[float, float]:
+        """Ground-truth (compute, memory) times for ``task`` starting now."""
+        cfg = self.config
+        # Contention: count still-running tasks per device, including this one.
+        running[:] = [r for r in running if r[0] > start + 1e-15]
+        active: dict[str, int] = {}
+        for _, _, devices in running:
+            for d in devices:
+                active[d] = active.get(d, 0) + 1
+
+        mem = 0.0
+        if cfg.dram_cache is not None:
+            # Memory Mode: hardware cache, placement-oblivious.
+            n_str = sum(active.values()) + 1
+            slow = cfg.contention.slowdown(n_str)
+            for acc in task.accesses.values():
+                t_d = acc.memory_time(self.hms.dram, bw_slowdown=slow)
+                t_n = acc.memory_time(self.hms.nvm, bw_slowdown=slow)
+                mem += cfg.dram_cache.blend(t_d, t_n, working_set)
+        else:
+            for obj, acc in task.accesses.items():
+                dev = self.hms.device_of(obj)
+                # Readers of an in-flight migration still hit the source
+                # copy: time them on the source device.
+                src_name = (
+                    engine.in_flight_source(obj.uid, start) if engine else None
+                )
+                if src_name is not None and not acc.mode.writes:
+                    dev = self._device_by_name(src_name, dev)
+                slow = cfg.contention.slowdown(active.get(dev.name, 0) + 1)
+                mem += acc.memory_time(dev, bw_slowdown=slow)
+        return task.compute_time, mem
+
+    def _device_by_name(self, name: str, default):
+        if name == self.hms.dram.name:
+            return self.hms.dram
+        if name == self.hms.nvm.name:
+            return self.hms.nvm
+        return default

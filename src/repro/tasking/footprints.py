@@ -1,0 +1,73 @@
+"""Convenience constructors for task footprints.
+
+Workload generators and user code describe accesses in *bytes touched*;
+these helpers convert to instruction counts (64-bit word granularity) and
+attach the right pattern class.  ``reuse`` multiplies the touch count for
+algorithms that sweep an object several times within one task.
+"""
+
+from __future__ import annotations
+
+from repro.tasking.access import (
+    BLOCKED,
+    POINTER_CHASE,
+    RANDOM,
+    STREAMING,
+    AccessMode,
+    AccessPattern,
+    ObjectAccess,
+)
+
+__all__ = [
+    "read_footprint",
+    "write_footprint",
+    "update_footprint",
+    "chase_footprint",
+    "STREAMING",
+    "BLOCKED",
+    "POINTER_CHASE",
+    "RANDOM",
+]
+
+#: Bytes per load/store instruction (64-bit words).
+WORD_BYTES = 8
+
+
+def _count(nbytes: float, reuse: float) -> int:
+    return max(0, int(round(nbytes * reuse / WORD_BYTES)))
+
+
+def read_footprint(
+    nbytes: float, pattern: AccessPattern = STREAMING, reuse: float = 1.0
+) -> ObjectAccess:
+    """A read-only sweep over ``nbytes`` (times ``reuse``)."""
+    return ObjectAccess(AccessMode.READ, loads=_count(nbytes, reuse), stores=0, pattern=pattern)
+
+
+def write_footprint(
+    nbytes: float, pattern: AccessPattern = STREAMING, reuse: float = 1.0
+) -> ObjectAccess:
+    """A write-only sweep over ``nbytes`` (times ``reuse``)."""
+    return ObjectAccess(AccessMode.WRITE, loads=0, stores=_count(nbytes, reuse), pattern=pattern)
+
+
+def update_footprint(
+    read_bytes: float,
+    written_bytes: float,
+    pattern: AccessPattern = BLOCKED,
+    reuse: float = 1.0,
+) -> ObjectAccess:
+    """A read-modify-write footprint."""
+    return ObjectAccess(
+        AccessMode.READWRITE,
+        loads=_count(read_bytes, reuse),
+        stores=_count(written_bytes, reuse),
+        pattern=pattern,
+    )
+
+
+def chase_footprint(n_hops: int, stores_per_hop: float = 0.0) -> ObjectAccess:
+    """A pointer-chase of ``n_hops`` dependent loads (latency-bound)."""
+    stores = int(round(n_hops * stores_per_hop))
+    mode = AccessMode.READWRITE if stores else AccessMode.READ
+    return ObjectAccess(mode, loads=int(n_hops), stores=stores, pattern=POINTER_CHASE)

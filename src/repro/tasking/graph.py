@@ -1,0 +1,237 @@
+"""Task graph with dataflow dependence inference.
+
+Tasks are added in program (spawn) order.  Dependences are inferred from
+declared accesses exactly as an OpenMP-4.5 ``depend`` clause or OmpSs
+would: a reader depends on the last writer (RAW), a writer depends on the
+last writer (WAW) and on every reader since (WAR).  Spawn order is thus a
+topological order by construction, which the executor and the data
+manager's lookahead both exploit.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.tasking.dataobj import DataObject
+from repro.tasking.task import Task
+
+__all__ = ["TaskGraph", "DependenceKind", "Dependence"]
+
+
+class DependenceKind(enum.Enum):
+    RAW = "raw"  #: read-after-write (true dependence)
+    WAW = "waw"  #: write-after-write (output dependence)
+    WAR = "war"  #: write-after-read (anti dependence)
+
+
+@dataclass(frozen=True)
+class Dependence:
+    src: Task
+    dst: Task
+    kind: DependenceKind
+    obj: DataObject
+
+
+class TaskGraph:
+    """A DAG of tasks built incrementally in program order."""
+
+    def __init__(self) -> None:
+        self.tasks: list[Task] = []
+        self._succ: dict[int, set[int]] = defaultdict(set)
+        self._pred: dict[int, set[int]] = defaultdict(set)
+        self._by_tid: dict[int, Task] = {}
+        self.dependences: list[Dependence] = []
+        # Dataflow state for incremental dependence inference.
+        self._last_writer: dict[int, Task] = {}
+        self._readers_since_write: dict[int, list[Task]] = defaultdict(list)
+        # Object registry in first-touch order.
+        self._objects: dict[int, DataObject] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, task: Task) -> Task:
+        """Append a task and infer its incoming dependences."""
+        if task.tid in self._by_tid:
+            raise ValueError(f"task {task.tid} already in graph")
+        self.tasks.append(task)
+        self._by_tid[task.tid] = task
+        self._succ.setdefault(task.tid, set())
+        self._pred.setdefault(task.tid, set())
+        for obj, access in task.accesses.items():
+            self._objects.setdefault(obj.uid, obj)
+            if not access.infer_deps:
+                continue
+            if access.mode.reads:
+                lw = self._last_writer.get(obj.uid)
+                if lw is not None:
+                    self._add_edge(lw, task, DependenceKind.RAW, obj)
+            if access.mode.writes:
+                lw = self._last_writer.get(obj.uid)
+                if lw is not None:
+                    self._add_edge(lw, task, DependenceKind.WAW, obj)
+                for reader in self._readers_since_write[obj.uid]:
+                    if reader is not task:
+                        self._add_edge(reader, task, DependenceKind.WAR, obj)
+                self._last_writer[obj.uid] = task
+                self._readers_since_write[obj.uid] = []
+            if access.mode.reads:
+                self._readers_since_write[obj.uid].append(task)
+        return task
+
+    def _add_edge(self, src: Task, dst: Task, kind: DependenceKind, obj: DataObject) -> None:
+        if src is dst:
+            return
+        if dst.tid not in self._succ[src.tid]:
+            self._succ[src.tid].add(dst.tid)
+            self._pred[dst.tid].add(src.tid)
+        self.dependences.append(Dependence(src, dst, kind, obj))
+
+    def add_edge(self, src: Task, dst: Task, obj: DataObject | None = None) -> None:
+        """Manually declare ``src`` -> ``dst`` ordering.
+
+        Used with ``infer_deps=False`` accesses, where the workload knows
+        the fine-grained (span-level) conflicts better than object-level
+        inference.  ``dst`` must have been spawned after ``src``.
+        """
+        if src.tid not in self._by_tid or dst.tid not in self._by_tid:
+            raise KeyError("both tasks must already be in the graph")
+        if dst.tid <= src.tid:
+            raise ValueError("manual edges must point forward in spawn order")
+        sentinel = obj if obj is not None else next(iter(src.accesses), None)
+        if dst.tid not in self._succ[src.tid]:
+            self._succ[src.tid].add(dst.tid)
+            self._pred[dst.tid].add(src.tid)
+        if sentinel is not None:
+            self.dependences.append(Dependence(src, dst, DependenceKind.RAW, sentinel))
+
+    def extend(self, tasks: Iterable[Task]) -> None:
+        for t in tasks:
+            self.add(t)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self.tasks)
+
+    def task(self, tid: int) -> Task:
+        return self._by_tid[tid]
+
+    def successors(self, task: Task) -> list[Task]:
+        return [self._by_tid[t] for t in sorted(self._succ[task.tid])]
+
+    def predecessors(self, task: Task) -> list[Task]:
+        return [self._by_tid[t] for t in sorted(self._pred[task.tid])]
+
+    def in_degree(self, task: Task) -> int:
+        return len(self._pred[task.tid])
+
+    @property
+    def objects(self) -> list[DataObject]:
+        """All data objects touched by any task, in first-touch order."""
+        return list(self._objects.values())
+
+    def total_object_bytes(self) -> int:
+        return sum(o.size_bytes for o in self._objects.values())
+
+    def roots(self) -> list[Task]:
+        return [t for t in self.tasks if not self._pred[t.tid]]
+
+    def tasks_using(self, obj: DataObject) -> list[Task]:
+        return [t for t in self.tasks if obj in t.accesses]
+
+    # ------------------------------------------------------------------
+    # Analyses
+    # ------------------------------------------------------------------
+    def topological_order(self) -> list[Task]:
+        """Kahn topological order (equals spawn order for well-formed use,
+        but recomputed here for validation)."""
+        indeg = {t.tid: len(self._pred[t.tid]) for t in self.tasks}
+        ready = [t for t in self.tasks if indeg[t.tid] == 0]
+        order: list[Task] = []
+        i = 0
+        ready.sort(key=lambda t: t.tid)
+        while i < len(ready):
+            t = ready[i]
+            i += 1
+            order.append(t)
+            for s in sorted(self._succ[t.tid]):
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    ready.append(self._by_tid[s])
+        if len(order) != len(self.tasks):
+            raise ValueError("task graph contains a cycle")
+        return order
+
+    def critical_path(self, duration: Callable[[Task], float]) -> tuple[float, list[Task]]:
+        """Longest path through the DAG under ``duration`` (ignores worker
+        and memory constraints; a lower bound on any makespan)."""
+        finish: dict[int, float] = {}
+        best_pred: dict[int, int | None] = {}
+        for t in self.topological_order():
+            preds = self._pred[t.tid]
+            if preds:
+                p = max(preds, key=lambda p: finish[p])
+                start = finish[p]
+                best_pred[t.tid] = p
+            else:
+                start = 0.0
+                best_pred[t.tid] = None
+            finish[t.tid] = start + duration(t)
+        if not finish:
+            return 0.0, []
+        end_tid = max(finish, key=lambda k: finish[k])
+        path = []
+        cur: int | None = end_tid
+        while cur is not None:
+            path.append(self._by_tid[cur])
+            cur = best_pred[cur]
+        return finish[end_tid], list(reversed(path))
+
+    def depths(self) -> dict[int, int]:
+        """Longest-path depth of every task (roots at 0).  Cached; the
+        graph must not grow afterwards (execution-time use only)."""
+        cached = getattr(self, "_depths_cache", None)
+        if cached is not None and len(cached) == len(self.tasks):
+            return cached
+        depths: dict[int, int] = {}
+        for t in self.topological_order():
+            preds = self._pred[t.tid]
+            depths[t.tid] = 1 + max((depths[p] for p in preds), default=-1)
+        self._depths_cache = depths
+        return depths
+
+    def bottom_levels(self, duration: Callable[[Task], float]) -> dict[int, float]:
+        """Length of the longest downward path from each task (HEFT rank)."""
+        levels: dict[int, float] = {}
+        for t in reversed(self.topological_order()):
+            succs = self._succ[t.tid]
+            tail = max((levels[s] for s in succs), default=0.0)
+            levels[t.tid] = duration(t) + tail
+        return levels
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.DiGraph` (nodes are tids)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for t in self.tasks:
+            g.add_node(t.tid, task=t)
+        for tid, succs in self._succ.items():
+            for s in succs:
+                g.add_edge(tid, s)
+        return g
+
+    def validate(self) -> None:
+        """Check DAG invariants (acyclicity, edge symmetry)."""
+        self.topological_order()
+        for tid, succs in self._succ.items():
+            for s in succs:
+                assert tid in self._pred[s], "edge tables out of sync"

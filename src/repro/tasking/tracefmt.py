@@ -1,0 +1,118 @@
+"""Trace export: Chrome-trace JSON and an ASCII Gantt chart.
+
+- :func:`to_chrome_trace` emits the Trace Event Format consumed by
+  ``chrome://tracing`` / Perfetto: one row per worker, one row for the
+  helper thread's copy lane, with stall/overhead sub-slices.
+- :func:`ascii_gantt` renders a terminal-friendly timeline, handy inside
+  examples and for eyeballing where migrations landed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.tasking.trace import ExecutionTrace
+from repro.util.units import US
+
+__all__ = ["to_chrome_trace", "ascii_gantt"]
+
+
+def to_chrome_trace(trace: ExecutionTrace) -> str:
+    """Serialize the run in Chrome Trace Event Format (JSON string)."""
+    events: list[dict[str, Any]] = []
+
+    def slice_event(name, cat, start, dur, tid, args=None):
+        events.append(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": "X",
+                "ts": start / US,  # chrome uses microseconds
+                "dur": max(dur, 0.0) / US,
+                "pid": 0,
+                "tid": tid,
+                "args": args or {},
+            }
+        )
+
+    for rec in trace.records:
+        base = {
+            "type": rec.task.type_name,
+            "compute_ms": round(rec.compute_time * 1e3, 4),
+            "memory_ms": round(rec.memory_time * 1e3, 4),
+        }
+        slice_event(
+            rec.task.name, "task", rec.start, rec.finish - rec.start, rec.worker, base
+        )
+        if rec.stall_time > 0:
+            slice_event(
+                f"{rec.task.name}:stall", "stall", rec.start, rec.stall_time, rec.worker
+            )
+
+    lane_tid = trace.n_workers + 1
+    if trace.migrations is not None:
+        for m in trace.migrations.records:
+            slice_event(
+                f"copy uid={m.obj_uid}",
+                "migration",
+                m.start_time,
+                m.duration,
+                lane_tid,
+                {"bytes": m.nbytes, "src": m.src, "dst": m.dst},
+            )
+
+    meta = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": w,
+            "args": {"name": f"worker {w}"},
+        }
+        for w in range(trace.n_workers)
+    ]
+    meta.append(
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": lane_tid,
+            "args": {"name": "helper thread (copies)"},
+        }
+    )
+    return json.dumps({"traceEvents": meta + events}, indent=None)
+
+
+def ascii_gantt(trace: ExecutionTrace, width: int = 80) -> str:
+    """Render the run as a per-worker ASCII timeline.
+
+    ``#`` task execution, ``.`` idle, ``~`` migration copy in flight on
+    the helper lane.
+    """
+    if trace.makespan <= 0 or not trace.records:
+        return "(empty trace)"
+    scale = width / trace.makespan
+
+    def paint(row: list[str], start: float, end: float, ch: str) -> None:
+        a = min(width - 1, max(0, int(start * scale)))
+        b = min(width, max(a + 1, int(end * scale)))
+        for i in range(a, b):
+            row[i] = ch
+
+    lines = []
+    for w in range(trace.n_workers):
+        row = ["."] * width
+        for rec in trace.records:
+            if rec.worker == w:
+                paint(row, rec.start, rec.finish, "#")
+        lines.append(f"worker {w:2d} |{''.join(row)}|")
+    if trace.migrations is not None and trace.migrations.records:
+        row = ["."] * width
+        for m in trace.migrations.records:
+            paint(row, m.start_time, m.end_time, "~")
+        lines.append(f"copies    |{''.join(row)}|")
+    lines.append(
+        f"           0 {'-' * (width - 12)} {trace.makespan * 1e3:.1f} ms"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Library logging.
+
+Standard library-pattern setup: everything logs under the ``repro``
+namespace with a ``NullHandler`` attached, so the library is silent unless
+the application opts in::
+
+    import logging
+    logging.getLogger("repro").addHandler(logging.StreamHandler())
+    logging.getLogger("repro").setLevel(logging.DEBUG)
+
+or, for quick experiments, :func:`enable_debug_logging`.
+
+The interesting streams:
+
+- ``repro.core.manager`` — replans, scope choices, migrations issued,
+  skepticism/throttle adjustments, adaptation triggers;
+- ``repro.profiling.calibration`` — measured platform constants.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "enable_debug_logging"]
+
+_root = logging.getLogger("repro")
+_root.addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Logger under the ``repro`` namespace (``name`` may include it)."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def enable_debug_logging(level: int = logging.DEBUG) -> None:
+    """Attach a stderr handler to the library's root logger (idempotent)."""
+    has_stream = any(
+        isinstance(h, logging.StreamHandler) and not isinstance(h, logging.NullHandler)
+        for h in _root.handlers
+    )
+    if not has_stream:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(name)s %(levelname)s: %(message)s")
+        )
+        _root.addHandler(handler)
+    _root.setLevel(level)

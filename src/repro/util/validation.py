@@ -1,0 +1,27 @@
+"""Small argument-validation helpers.
+
+The simulator is configuration-heavy; failing fast with a precise message at
+construction time beats a NaN surfacing three layers deep in the executor.
+"""
+
+from __future__ import annotations
+
+__all__ = ["require", "require_positive", "require_nonnegative"]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Raise unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def require_nonnegative(value: float, name: str) -> None:
+    """Raise unless ``value`` is >= 0."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.hms import HeterogeneousMemorySystem
+from repro.memory.presets import dram, nvm_bandwidth_scaled, nvm_latency_scaled
+from repro.profiling.calibration import calibrate
+from repro.tasking.executor import ExecutorConfig
+from tests.helpers import make_chain_graph, make_fork_join_graph
+
+
+@pytest.fixture
+def dram_dev():
+    return dram()
+
+
+@pytest.fixture
+def nvm_bw():
+    """NVM with half DRAM bandwidth."""
+    return nvm_bandwidth_scaled(0.5)
+
+
+@pytest.fixture
+def nvm_lat():
+    """NVM with 4x DRAM latency."""
+    return nvm_latency_scaled(4.0)
+
+
+@pytest.fixture
+def hms(dram_dev, nvm_bw):
+    return HeterogeneousMemorySystem(dram_dev, nvm_bw)
+
+
+@pytest.fixture
+def exec_config():
+    return ExecutorConfig(n_workers=4)
+
+
+@pytest.fixture
+def chain_graph():
+    return make_chain_graph()
+
+
+@pytest.fixture
+def fork_join_graph():
+    return make_fork_join_graph()
+
+
+@pytest.fixture(scope="session")
+def calibration_bw():
+    """Session-cached calibration for the bw-1/2 platform."""
+    return calibrate(dram(), nvm_bandwidth_scaled(0.5), ExecutorConfig(n_workers=4))

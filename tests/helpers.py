@@ -1,0 +1,79 @@
+"""Shared test helpers (graph builders, run shortcuts)."""
+
+from __future__ import annotations
+
+from repro.baselines import NVMOnlyPolicy
+from repro.memory.hms import HeterogeneousMemorySystem
+from repro.memory.presets import dram
+from repro.tasking.dataobj import DataObject
+from repro.tasking.executor import Executor, ExecutorConfig
+from repro.tasking.footprints import read_footprint, update_footprint, write_footprint
+from repro.tasking.graph import TaskGraph
+from repro.tasking.task import Task
+from repro.util.units import MIB
+
+def make_chain_graph(n_tasks: int = 6, obj_mib: float = 4.0) -> TaskGraph:
+    """A serial chain: each task read-writes one shared object."""
+    graph = TaskGraph()
+    obj = DataObject(name="shared", size_bytes=int(obj_mib * MIB))
+    for i in range(n_tasks):
+        graph.add(
+            Task(
+                name=f"step{i}",
+                type_name="step",
+                accesses={obj: update_footprint(obj.size_bytes, obj.size_bytes)},
+                compute_time=1e-4,
+                iteration=i,
+            )
+        )
+    return graph
+
+
+def make_fork_join_graph(width: int = 8, obj_mib: float = 2.0) -> TaskGraph:
+    """source -> N independent workers -> sink (classic fork/join)."""
+    graph = TaskGraph()
+    src_obj = DataObject(name="input", size_bytes=int(obj_mib * MIB))
+    outs = [
+        DataObject(name=f"out{i}", size_bytes=int(obj_mib * MIB)) for i in range(width)
+    ]
+    graph.add(
+        Task(
+            name="source",
+            type_name="source",
+            accesses={src_obj: write_footprint(src_obj.size_bytes)},
+            compute_time=1e-4,
+        )
+    )
+    for i, out in enumerate(outs):
+        graph.add(
+            Task(
+                name=f"work{i}",
+                type_name="work",
+                accesses={
+                    src_obj: read_footprint(src_obj.size_bytes),
+                    out: write_footprint(out.size_bytes),
+                },
+                compute_time=5e-4,
+            )
+        )
+    graph.add(
+        Task(
+            name="sink",
+            type_name="sink",
+            accesses={o: read_footprint(o.size_bytes) for o in outs},
+            compute_time=1e-4,
+        )
+    )
+    return graph
+
+
+def run_graph(graph, dram_dev, nvm_dev, policy=None, workers: int = 4, **cfg_kw):
+    """Convenience: run a graph on a fresh machine; returns the trace."""
+    machine = HeterogeneousMemorySystem(dram_dev, nvm_dev)
+    cfg = ExecutorConfig(n_workers=workers, **cfg_kw)
+    return Executor(machine, cfg).run(graph, policy or NVMOnlyPolicy())
+
+
+def dram_for(graph):
+    """A DRAM device big enough to hold the graph's working set."""
+    return dram(max(2 * graph.total_object_bytes(), 64 * MIB))

@@ -1,0 +1,193 @@
+"""The data manager end-to-end on controlled micro-programs."""
+
+import pytest
+
+from repro.baselines import DRAMOnlyPolicy, NVMOnlyPolicy
+from repro.core.manager import DataManagerPolicy, ManagerConfig
+from repro.core.placement import PlanConfig
+from repro.memory.hms import HeterogeneousMemorySystem
+from repro.memory.presets import dram, nvm_bandwidth_scaled, nvm_latency_scaled
+from repro.tasking.dataobj import DataObject
+from repro.tasking.executor import Executor, ExecutorConfig
+from repro.tasking.footprints import (
+    chase_footprint,
+    read_footprint,
+    update_footprint,
+)
+from repro.tasking.graph import TaskGraph
+from repro.tasking.task import Task
+from repro.util.units import MIB
+
+
+def hot_cold_program(iterations=12, hot_mib=8, cold_mib=48):
+    """One hot streamed object + one cold object, repeatedly; the manager
+    must keep the hot one in DRAM."""
+    g = TaskGraph()
+    hot = DataObject(name="hot", size_bytes=int(hot_mib * MIB))
+    cold = DataObject(name="cold", size_bytes=int(cold_mib * MIB))
+    for i in range(iterations):
+        g.add(
+            Task(
+                name=f"work{i}",
+                type_name="work",
+                accesses={
+                    hot: update_footprint(hot.size_bytes, hot.size_bytes, reuse=4.0),
+                    cold: read_footprint(cold.size_bytes / 16),
+                },
+                compute_time=2e-4,
+                iteration=i,
+            )
+        )
+    return g, hot, cold
+
+
+def run(graph, policy, nvm, dram_cap=int(16 * MIB), workers=2):
+    hms = HeterogeneousMemorySystem(dram(dram_cap), nvm)
+    return Executor(hms, ExecutorConfig(n_workers=workers)).run(graph, policy)
+
+
+class TestManagerEndToEnd:
+    def test_beats_nvm_only_on_hot_cold(self, nvm_bw):
+        g, hot, cold = hot_cold_program()
+        base = run(g, NVMOnlyPolicy(), nvm_bw)
+        pol = DataManagerPolicy()
+        tr = run(g, pol, nvm_bw)
+        tr.validate()
+        assert tr.makespan < base.makespan
+
+    def test_hot_object_ends_in_dram(self, nvm_bw):
+        g, hot, cold = hot_cold_program()
+        # Remove static hints so placement must come from runtime profiling.
+        hot.static_ref_count = 0.0
+        cold.static_ref_count = 0.0
+        pol = DataManagerPolicy()
+        hms = HeterogeneousMemorySystem(dram(int(16 * MIB)), nvm_bw)
+        Executor(hms, ExecutorConfig(n_workers=2)).run(g, pol)
+        assert hms.in_dram(hot)
+        assert not hms.in_dram(cold)
+
+    def test_latency_sensitive_object_promoted(self, nvm_lat):
+        g = TaskGraph()
+        lst = DataObject(name="list", size_bytes=int(8 * MIB))
+        for i in range(14):
+            g.add(
+                Task(
+                    name=f"chase{i}",
+                    type_name="chase",
+                    accesses={lst: chase_footprint(80_000)},
+                    compute_time=1e-4,
+                    iteration=i,
+                )
+            )
+        base = run(g, NVMOnlyPolicy(), nvm_lat)
+        tr = run(g, DataManagerPolicy(), nvm_lat)
+        assert tr.makespan < base.makespan
+        assert tr.migration_count >= 1
+
+    def test_does_not_lose_when_nvm_equals_dram(self):
+        """On an 'NVM' identical to DRAM there is nothing to win: the
+        manager must stay close to the do-nothing baseline."""
+        from repro.memory.device import DeviceKind
+
+        same = dram().scaled(name="nvm-same", kind=DeviceKind.NVM, capacity_bytes=1 << 34)
+        g, *_ = hot_cold_program()
+        base = run(g, NVMOnlyPolicy(), same)
+        tr = run(g, DataManagerPolicy(), same)
+        assert tr.makespan <= base.makespan * 1.05
+
+    def test_stats_populated(self, nvm_bw):
+        g, *_ = hot_cold_program()
+        pol = DataManagerPolicy()
+        run(g, pol, nvm_bw)
+        st = pol.stats
+        assert st["profiled_tasks"] >= 1
+        assert st["replans"] >= 1
+        assert "skepticism" in st
+
+    def test_runtime_overhead_is_small(self, nvm_bw):
+        g, *_ = hot_cold_program(iterations=20)
+        tr = run(g, DataManagerPolicy(), nvm_bw)
+        assert tr.overhead_fraction() < 0.05
+
+    def test_policy_reusable_across_runs(self, nvm_bw):
+        g1, *_ = hot_cold_program()
+        g2, *_ = hot_cold_program()
+        pol = DataManagerPolicy()
+        t1 = run(g1, pol, nvm_bw)
+        t2 = run(g2, pol, nvm_bw)
+        assert t1.makespan == pytest.approx(t2.makespan, rel=1e-9)
+
+
+class TestManagerConfigKnobs:
+    def test_initial_placement_uses_static_refs(self, nvm_bw):
+        g, hot, cold = hot_cold_program()
+        hot.static_ref_count = 1e9
+        cold.static_ref_count = 1.0
+        pol = DataManagerPolicy()
+        hms = HeterogeneousMemorySystem(dram(int(16 * MIB)), nvm_bw)
+        tr = Executor(hms, ExecutorConfig(n_workers=2)).run(g, pol)
+        first = min(tr.records, key=lambda r: r.start)
+        assert first.residency[hot.uid] == "dram"
+
+    def test_disable_initial_placement(self, nvm_bw):
+        g, hot, _ = hot_cold_program()
+        hot.static_ref_count = 1e9
+        pol = DataManagerPolicy(ManagerConfig(enable_initial_placement=False))
+        hms = HeterogeneousMemorySystem(dram(int(16 * MIB)), nvm_bw)
+        tr = Executor(hms, ExecutorConfig(n_workers=2)).run(g, pol)
+        first = min(tr.records, key=lambda r: r.start)
+        assert first.residency[hot.uid] == hms.nvm.name
+
+    def test_disable_both_searches_never_migrates(self, nvm_bw):
+        g, *_ = hot_cold_program()
+        pol = DataManagerPolicy(
+            ManagerConfig(
+                enable_global_search=False,
+                enable_local_search=False,
+                enable_initial_placement=False,
+            )
+        )
+        tr = run(g, pol, nvm_bw)
+        assert tr.migration_count == 0
+
+    def test_move_cap_limits_pingpong(self, nvm_bw):
+        g, *_ = hot_cold_program(iterations=30)
+        pol = DataManagerPolicy(ManagerConfig(max_moves_per_object=1))
+        tr = run(g, pol, nvm_bw)
+        # with the cap, each object crosses at most once in each direction
+        per_obj: dict[int, int] = {}
+        for rec in tr.migrations.records:
+            per_obj[rec.obj_uid] = per_obj.get(rec.obj_uid, 0) + 1
+        assert all(v <= 1 for v in per_obj.values())
+
+    def test_adaptation_detects_shift(self, nvm_bw):
+        """A mid-run 6x intensity shift on one object must trigger
+        re-profiling when adaptation is on."""
+        g = TaskGraph()
+        a = DataObject(name="a", size_bytes=int(8 * MIB))
+        for i in range(40):
+            boost = 6.0 if i >= 20 else 1.0
+            g.add(
+                Task(
+                    name=f"t{i}",
+                    type_name="t",
+                    accesses={
+                        a: update_footprint(
+                            a.size_bytes, a.size_bytes, reuse=boost
+                        )
+                    },
+                    compute_time=1e-4,
+                    iteration=i,
+                )
+            )
+        pol = DataManagerPolicy()
+        run(g, pol, nvm_bw)
+        assert pol.stats["adaptation_triggers"] >= 1
+
+    def test_paper_counter_config_runs(self, nvm_bw):
+        g, *_ = hot_cold_program()
+        pol = DataManagerPolicy(
+            ManagerConfig(plan=PlanConfig(use_miss_counter=False))
+        )
+        tr = run(g, pol, nvm_bw)
+        tr.validate()

@@ -1,0 +1,237 @@
+"""Sensitivity classification, benefit/cost models, type models."""
+
+import pytest
+
+from repro.core.adaptation import DeviationDetector
+from repro.core.benefit import benefit_bandwidth, benefit_latency, movement_benefit
+from repro.core.cost import eviction_cost, migration_cost
+from repro.core.models import ObjectStats, SlotStats, TypeModel
+from repro.core.sensitivity import Sensitivity, classify_bandwidth, object_bandwidth
+from repro.memory.migration import copy_time
+from repro.memory.presets import dram, nvm_bandwidth_scaled, nvm_latency_scaled, optane_pm
+from repro.profiling.sampler import ObjectSample, SamplingProfiler
+from repro.tasking.dataobj import DataObject
+from repro.tasking.footprints import read_footprint, write_footprint
+from repro.tasking.task import Task
+from repro.util.units import MIB
+
+
+class TestSensitivity:
+    def test_thresholds(self):
+        peak = 1e10
+        assert classify_bandwidth(0.9 * peak, peak) is Sensitivity.BANDWIDTH
+        assert classify_bandwidth(0.05 * peak, peak) is Sensitivity.LATENCY
+        assert classify_bandwidth(0.5 * peak, peak) is Sensitivity.MIXED
+
+    def test_custom_thresholds(self):
+        peak = 1e10
+        assert classify_bandwidth(0.5 * peak, peak, t1=0.4, t2=0.1) is Sensitivity.BANDWIDTH
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            classify_bandwidth(1, 1, t1=0.1, t2=0.5)
+
+    def test_object_bandwidth(self):
+        s = ObjectSample(loads=0, stores=0, misses=1000, active_fraction=0.5)
+        # 1000 misses x 64 B over 0.5 x 1 s
+        assert object_bandwidth(s, 1.0) == pytest.approx(1000 * 64 / 0.5)
+
+
+class TestBenefitModels:
+    def test_bandwidth_benefit_positive_on_slower_nvm(self):
+        d, n = dram(), nvm_bandwidth_scaled(0.5)
+        b = benefit_bandwidth(10_000, 5_000, n, d, cf_bw=1.0)
+        assert b > 0
+
+    def test_bandwidth_benefit_zero_when_equal(self):
+        d = dram()
+        n = d.scaled(name="same", kind=d.kind)
+        assert benefit_bandwidth(1000, 1000, n, d, 1.0) == pytest.approx(0.0)
+
+    def test_latency_benefit_scales_with_multiplier(self):
+        d = dram()
+        b4 = benefit_latency(1000, 0, nvm_latency_scaled(4.0), d, 1.0)
+        b8 = benefit_latency(1000, 0, nvm_latency_scaled(8.0), d, 1.0)
+        assert b8 == pytest.approx(b4 * 7 / 3, rel=0.01)  # (8-1)/(4-1)
+
+    def test_rw_distinction_matters_on_optane(self):
+        """Optane writes are 3x slower than reads: a write-heavy object's
+        benefit is underestimated without the distinction."""
+        d, o = dram(), optane_pm()
+        with_rw = benefit_bandwidth(1000, 100_000, o, d, 1.0, distinguish_rw=True)
+        without = benefit_bandwidth(1000, 100_000, o, d, 1.0, distinguish_rw=False)
+        assert with_rw > 1.5 * without
+
+    def test_movement_benefit_dispatches_on_class(self, calibration_bw):
+        d, n = dram(), nvm_bandwidth_scaled(0.5)
+        bw = movement_benefit(10_000, 0, Sensitivity.BANDWIDTH, n, d, calibration_bw)
+        lat = movement_benefit(10_000, 0, Sensitivity.LATENCY, n, d, calibration_bw)
+        mixed = movement_benefit(10_000, 0, Sensitivity.MIXED, n, d, calibration_bw)
+        assert mixed == pytest.approx(max(bw, lat))
+
+    def test_cf_factor_scales(self):
+        d, n = dram(), nvm_bandwidth_scaled(0.5)
+        assert benefit_bandwidth(1000, 0, n, d, 2.0) == pytest.approx(
+            2 * benefit_bandwidth(1000, 0, n, d, 1.0)
+        )
+
+
+class TestCostModels:
+    def test_migration_cost_fully_overlapped_is_zero(self):
+        d, n = dram(), nvm_bandwidth_scaled(0.5)
+        assert migration_cost(int(MIB), n, d, overlap_window_s=10.0) == 0.0
+
+    def test_migration_cost_no_overlap_equals_copy(self):
+        d, n = dram(), nvm_bandwidth_scaled(0.5)
+        assert migration_cost(int(MIB), n, d, overlap_window_s=0.0) == pytest.approx(
+            copy_time(int(MIB), n, d)
+        )
+
+    def test_eviction_cost_sums_victims(self):
+        d, n = dram(), nvm_bandwidth_scaled(0.5)
+        one = eviction_cost([int(MIB)], d, n)
+        two = eviction_cost([int(MIB), int(MIB)], d, n)
+        assert two == pytest.approx(2 * one, rel=0.01)
+
+
+class TestTypeModel:
+    def _profile(self, seed=0):
+        a = DataObject(name="a", size_bytes=int(4 * MIB))
+        b = DataObject(name="b", size_bytes=int(4 * MIB))
+        t = Task(
+            name="k",
+            type_name="k",
+            accesses={a: read_footprint(a.size_bytes), b: write_footprint(b.size_bytes)},
+            compute_time=1e-4,
+        )
+        d = dram(int(64 * MIB))
+        dur = sum(acc.memory_time(d) for acc in t.accesses.values()) + t.compute_time
+        return SamplingProfiler(seed=seed).sample_task(t, dur, device_of=lambda o: d), dur
+
+    def test_observe_builds_slots(self):
+        m = TypeModel("k")
+        p, dur = self._profile()
+        m.observe(p)
+        assert m.ready and m.n_profiles == 1
+        assert len(m.slots) == 2
+        assert m.mean_duration == pytest.approx(dur)
+        assert m.slots[0].loads > 0 and m.slots[1].stores > 0
+
+    def test_slot_fallback_for_extra_arity(self):
+        m = TypeModel("k")
+        p, _ = self._profile()
+        m.observe(p)
+        assert m.slot(10) is m.slots[-1]
+        assert TypeModel("empty").slot(0).loads == 0
+
+    def test_means_average_multiple_profiles(self):
+        m = TypeModel("k")
+        for seed in range(4):
+            p, _ = self._profile(seed)
+            m.observe(p)
+        assert m.n_profiles == 4
+        assert m.slots[0].n == 4
+
+    def test_confidence_high_for_stable_slots(self):
+        m = TypeModel("k")
+        for seed in range(4):
+            p, _ = self._profile(seed)
+            m.observe(p)
+        assert m.slots[0].confidence > 0.9
+
+    def test_confidence_low_for_erratic_slots(self):
+        s = SlotStats()
+        for misses in (100.0, 100_000.0, 50.0, 80_000.0):
+            s.update(0, 0, misses, 0.1, 1e9)
+        assert s.confidence < 0.6
+
+    def test_effective_counts_miss_vs_raw(self):
+        s = SlotStats()
+        s.update(loads=800, stores=200, misses=100, active=0.5, bw=1e9)
+        ml, ms = s.effective_counts(True)
+        assert ml == pytest.approx(80) and ms == pytest.approx(20)
+        rl, rs = s.effective_counts(False)
+        assert rl == 800 and rs == 200
+
+    def test_track_duration_ewma(self):
+        m = TypeModel("k")
+        m.track_duration(1.0)
+        assert m.recent_duration == pytest.approx(1.0)
+        m.track_duration(2.0, alpha=0.5)
+        assert m.recent_duration == pytest.approx(1.5)
+        assert m.n_instances == 2
+
+
+class TestObjectStats:
+    def test_accumulation(self):
+        st = ObjectStats(uid=1, size_bytes=100)
+        st.add(10, 5, 8, 1e9, confidence=1.0, mem_seconds=0.1, dram_frac=0.0)
+        st.add(10, 5, 8, 2e9, confidence=0.5, mem_seconds=0.3, dram_frac=1.0)
+        assert st.loads == 20 and st.misses == 16
+        assert st.bw_demand == 2e9  # max
+        assert st.mem_seconds == pytest.approx(0.4)
+        assert st.dram_frac == pytest.approx(0.75)  # weighted by mem_seconds
+        assert 0.5 < st.confidence < 1.0
+
+
+class TestDeviationDetector:
+    def _feed_iterations(self, det, means, per_iter=4, type_name="t"):
+        fired = []
+        for it, mean in enumerate(means):
+            for _ in range(per_iter):
+                fired.append(det.observe(type_name, mean, iteration=it))
+        return fired
+
+    def test_no_trigger_on_stable_iterations(self):
+        det = DeviationDetector()
+        fired = self._feed_iterations(det, [1.0] * 12)
+        assert not any(fired)
+
+    def test_no_trigger_on_noisy_but_centered(self):
+        det = DeviationDetector()
+        fired = self._feed_iterations(det, [0.9, 1.1, 1.0, 0.95, 1.05] * 3)
+        assert not any(fired)
+
+    def test_trigger_on_step_change(self):
+        det = DeviationDetector()
+        fired = self._feed_iterations(det, [1.0] * 6 + [2.0] * 4)
+        assert any(fired)
+
+    def test_bimodal_instances_within_iteration_do_not_trigger(self):
+        """Placement bimodality: fast and slow instances inside each
+        iteration must average out."""
+        det = DeviationDetector()
+        fired = []
+        for it in range(12):
+            for dur in (0.5, 1.5, 0.5, 1.5):  # same mix every iteration
+                fired.append(det.observe("t", dur, iteration=it))
+        assert not any(fired)
+
+    def test_needs_min_iterations_of_baseline(self):
+        det = DeviationDetector(min_iterations=3)
+        fired = self._feed_iterations(det, [1.0, 5.0, 1.0])
+        assert not any(fired)
+
+    def test_cooldown_limits_rate(self):
+        det = DeviationDetector(cooldown_iterations=4)
+        means = [1.0] * 5 + [3.0] * 8
+        fired = self._feed_iterations(det, means)
+        assert sum(fired) == 1  # baseline cleared; new regime re-baselines
+
+    def test_non_iterative_tasks_never_trigger(self):
+        det = DeviationDetector()
+        fired = [det.observe("t", d, iteration=-1) for d in [1.0] * 6 + [9.0] * 6]
+        assert not any(fired)
+
+    def test_types_independent(self):
+        det = DeviationDetector()
+        self._feed_iterations(det, [1.0] * 8, type_name="a")
+        fired = self._feed_iterations(det, [5.0] * 2, type_name="b")
+        assert not any(fired)
+
+    def test_reset(self):
+        det = DeviationDetector()
+        self._feed_iterations(det, [1.0] * 8)
+        det.reset("t")
+        fired = self._feed_iterations(det, [5.0] * 2)
+        assert not any(fired)

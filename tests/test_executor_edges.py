@@ -1,0 +1,130 @@
+"""Executor edge cases: configs, Memory-Mode timing, contention effects,
+ready-time clamping, and scheduler/policy cross-products."""
+
+import pytest
+
+from repro.baselines import DRAMOnlyPolicy, HWCacheMode, NVMOnlyPolicy
+from repro.core.manager import DataManagerPolicy
+from repro.memory.contention import ContentionModel
+from repro.memory.hms import HeterogeneousMemorySystem
+from repro.memory.presets import dram, nvm_bandwidth_scaled
+from repro.tasking.dataobj import DataObject
+from repro.tasking.executor import Executor, ExecutorConfig
+from repro.tasking.footprints import read_footprint, update_footprint
+from repro.tasking.graph import TaskGraph
+from repro.tasking.scheduler import (
+    CriticalPathPolicy,
+    FIFOPolicy,
+    LIFOPolicy,
+    MemoryAwarePolicy,
+)
+from repro.tasking.task import Task
+from repro.util.units import MIB
+
+from tests.helpers import dram_for, make_chain_graph, make_fork_join_graph, run_graph
+
+
+class TestTimeTravelRegression:
+    def test_chain_with_many_workers_stays_serialized(self, nvm_bw):
+        """Regression: an idle worker draining a future completion must not
+        let another worker dispatch the enabled task in the past."""
+        g = make_chain_graph(n_tasks=12)
+        for workers in (2, 4, 8):
+            tr = run_graph(g, dram_for(g), nvm_bw, DRAMOnlyPolicy(), workers=workers)
+            tr.validate()
+            recs = sorted(tr.records, key=lambda r: r.start)
+            for a, b in zip(recs, recs[1:]):
+                assert b.start >= a.finish - 1e-12
+
+    def test_diamond_joins_wait_for_slowest(self, nvm_bw):
+        g = TaskGraph()
+        a = DataObject(name="a", size_bytes=int(MIB))
+        b = DataObject(name="b", size_bytes=int(32 * MIB))
+        src = g.add(Task(name="src", type_name="s",
+                         accesses={a: update_footprint(MIB, MIB),
+                                   b: update_footprint(32 * MIB, 32 * MIB)}))
+        fast = g.add(Task(name="fast", type_name="f",
+                          accesses={a: read_footprint(MIB)}, compute_time=1e-5))
+        slow = g.add(Task(name="slow", type_name="g",
+                          accesses={b: read_footprint(32 * MIB)}, compute_time=5e-3))
+        sink = g.add(Task(name="sink", type_name="k",
+                          accesses={a: update_footprint(MIB, MIB),
+                                    b: update_footprint(32 * MIB, 32 * MIB)}))
+        tr = run_graph(g, dram_for(g), nvm_bw, DRAMOnlyPolicy(), workers=4)
+        rec = {r.task.name: r for r in tr.records}
+        assert rec["sink"].start >= rec["slow"].finish - 1e-12
+        assert rec["sink"].start >= rec["fast"].finish - 1e-12
+
+
+class TestMemoryModeTiming:
+    def test_placement_irrelevant_under_dram_cache(self, nvm_bw):
+        g1 = make_fork_join_graph(width=4, obj_mib=16.0)
+        cfg = HWCacheMode.configure(ExecutorConfig(n_workers=4), int(64 * MIB))
+        t_nvm = Executor(
+            HeterogeneousMemorySystem(dram(int(64 * MIB)), nvm_bw), cfg
+        ).run(g1, NVMOnlyPolicy())
+        g2 = make_fork_join_graph(width=4, obj_mib=16.0)
+        t_static = Executor(
+            HeterogeneousMemorySystem(dram(int(64 * MIB)), nvm_bw), cfg
+        ).run(g2, HWCacheMode())
+        assert t_nvm.makespan == pytest.approx(t_static.makespan, rel=1e-9)
+
+    def test_bigger_cache_is_faster(self, nvm_bw):
+        def run_with(cap_mib):
+            g = make_fork_join_graph(width=4, obj_mib=32.0)
+            cfg = HWCacheMode.configure(
+                ExecutorConfig(n_workers=4), int(cap_mib * MIB)
+            )
+            hms = HeterogeneousMemorySystem(dram(int(cap_mib * MIB)), nvm_bw)
+            return Executor(hms, cfg).run(g, HWCacheMode()).makespan
+
+        assert run_with(1024) < run_with(8)
+
+
+class TestContentionEffects:
+    def test_contended_machine_is_slower(self, nvm_bw):
+        g = make_fork_join_graph(width=16, obj_mib=16.0)
+        loose = ExecutorConfig(
+            n_workers=16, contention=ContentionModel(saturation_streams=1e9)
+        )
+        tight = ExecutorConfig(
+            n_workers=16, contention=ContentionModel(saturation_streams=2)
+        )
+        a = Executor(HeterogeneousMemorySystem(dram_for(g), nvm_bw), loose).run(
+            g, DRAMOnlyPolicy()
+        )
+        g2 = make_fork_join_graph(width=16, obj_mib=16.0)
+        b = Executor(HeterogeneousMemorySystem(dram_for(g2), nvm_bw), tight).run(
+            g2, DRAMOnlyPolicy()
+        )
+        assert b.makespan > a.makespan * 1.3
+
+
+class TestSchedulerPolicyMatrix:
+    @pytest.mark.parametrize(
+        "sched", [FIFOPolicy, LIFOPolicy, CriticalPathPolicy, MemoryAwarePolicy]
+    )
+    @pytest.mark.parametrize("policy_cls", [NVMOnlyPolicy, DataManagerPolicy])
+    def test_every_combination_completes(self, sched, policy_cls, nvm_bw):
+        g = make_fork_join_graph(width=8, obj_mib=4.0)
+        hms = HeterogeneousMemorySystem(dram(), nvm_bw)
+        tr = Executor(hms, ExecutorConfig(n_workers=4), sched()).run(g, policy_cls())
+        tr.validate()
+        assert len(tr.records) == len(g.tasks)
+
+
+class TestSamplingConfigPlumbs:
+    def test_interval_reaches_profiler(self, nvm_bw):
+        g = make_chain_graph(n_tasks=8, obj_mib=16)
+        pol_dense = DataManagerPolicy()
+        hms = HeterogeneousMemorySystem(dram(), nvm_bw)
+        dense = Executor(
+            hms, ExecutorConfig(n_workers=2, sampling_interval_cycles=100)
+        ).run(g, pol_dense)
+        g2 = make_chain_graph(n_tasks=8, obj_mib=16)
+        pol_sparse = DataManagerPolicy()
+        hms2 = HeterogeneousMemorySystem(dram(), nvm_bw)
+        sparse = Executor(
+            hms2, ExecutorConfig(n_workers=2, sampling_interval_cycles=10_000)
+        ).run(g2, pol_sparse)
+        assert dense.total_overhead_time > sparse.total_overhead_time

@@ -1,0 +1,79 @@
+"""Bandwidth contention model and the hardware DRAM-cache model."""
+
+import pytest
+
+from repro.memory.cache import DRAMCacheModel
+from repro.memory.contention import NO_CONTENTION, ContentionModel
+from repro.util.units import MIB
+
+
+class TestContention:
+    def test_single_stream_full_bandwidth(self):
+        c = ContentionModel(saturation_streams=6)
+        assert c.share(1) == pytest.approx(1.0)
+        assert c.slowdown(1) == pytest.approx(1.0)
+
+    def test_below_saturation_no_sharing(self):
+        c = ContentionModel(saturation_streams=6)
+        assert c.share(6) == pytest.approx(1.0)
+
+    def test_beyond_saturation_processor_sharing(self):
+        c = ContentionModel(saturation_streams=6, rolloff=1.0)
+        assert c.share(12) == pytest.approx(0.5)
+        assert c.slowdown(12) == pytest.approx(2.0)
+
+    def test_share_monotone_nonincreasing(self):
+        c = ContentionModel()
+        shares = [c.share(n) for n in range(1, 40)]
+        assert all(a >= b for a, b in zip(shares, shares[1:]))
+
+    def test_gentle_rolloff(self):
+        hard = ContentionModel(saturation_streams=4, rolloff=1.0)
+        soft = ContentionModel(saturation_streams=4, rolloff=0.5)
+        assert soft.share(16) > hard.share(16)
+
+    def test_no_contention_sentinel(self):
+        assert NO_CONTENTION.share(10_000) == pytest.approx(1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ContentionModel(saturation_streams=0)
+
+    def test_nonpositive_stream_count_clamped(self):
+        c = ContentionModel()
+        assert c.share(0) == c.share(1)
+
+
+class TestDRAMCacheModel:
+    def test_hit_rate_full_fit(self):
+        m = DRAMCacheModel(dram_capacity_bytes=int(256 * MIB), conflict_factor=0.0)
+        assert m.hit_rate(int(128 * MIB)) == pytest.approx(1.0)
+
+    def test_hit_rate_capacity_bound(self):
+        m = DRAMCacheModel(dram_capacity_bytes=int(256 * MIB), conflict_factor=0.0)
+        assert m.hit_rate(int(512 * MIB)) == pytest.approx(0.5)
+
+    def test_conflict_factor_shaves_hits(self):
+        m = DRAMCacheModel(dram_capacity_bytes=int(256 * MIB), conflict_factor=0.2)
+        assert m.hit_rate(int(128 * MIB)) == pytest.approx(0.8)
+
+    def test_blend_bounds(self):
+        m = DRAMCacheModel(dram_capacity_bytes=int(256 * MIB))
+        t_d, t_n = 1.0, 4.0
+        # tiny working set: near-DRAM; huge: near NVM (plus fill penalty)
+        fast = m.blend(t_d, t_n, int(1 * MIB))
+        slow = m.blend(t_d, t_n, int(64 * 1024 * MIB))
+        assert t_d <= fast < slow
+        assert slow <= t_n + m.fill_penalty * t_d + 1e-9
+
+    def test_blend_monotone_in_working_set(self):
+        m = DRAMCacheModel(dram_capacity_bytes=int(256 * MIB))
+        sizes = [int(s * MIB) for s in (64, 128, 256, 512, 1024)]
+        vals = [m.blend(1.0, 4.0, s) for s in sizes]
+        assert all(a <= b + 1e-12 for a, b in zip(vals, vals[1:]))
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            DRAMCacheModel(dram_capacity_bytes=0)
+        with pytest.raises(ValueError):
+            DRAMCacheModel(dram_capacity_bytes=1, conflict_factor=1.0)

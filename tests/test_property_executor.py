@@ -1,0 +1,100 @@
+"""Property-based executor invariants over random task programs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import DRAMOnlyPolicy, NVMOnlyPolicy
+from repro.core.manager import DataManagerPolicy
+from repro.memory.hms import HeterogeneousMemorySystem
+from repro.memory.presets import dram, nvm_bandwidth_scaled
+from repro.tasking.access import AccessMode, ObjectAccess, PATTERNS
+from repro.tasking.dataobj import DataObject
+from repro.tasking.executor import Executor, ExecutorConfig
+from repro.tasking.graph import TaskGraph
+from repro.tasking.task import Task
+from repro.util.units import MIB
+
+
+@st.composite
+def random_program(draw):
+    """A random but well-formed task program over a shared object pool."""
+    n_objects = draw(st.integers(2, 6))
+    objects = [
+        DataObject(name=f"o{i}", size_bytes=draw(st.integers(1, 16)) * MIB)
+        for i in range(n_objects)
+    ]
+    pattern_names = sorted(PATTERNS)
+    graph = TaskGraph()
+    n_tasks = draw(st.integers(1, 25))
+    for i in range(n_tasks):
+        k = draw(st.integers(1, min(3, n_objects)))
+        idxs = draw(
+            st.lists(
+                st.integers(0, n_objects - 1), min_size=k, max_size=k, unique=True
+            )
+        )
+        accesses = {}
+        for oi in idxs:
+            mode = draw(st.sampled_from(list(AccessMode)))
+            touched = draw(st.integers(100, 200_000))
+            accesses[objects[oi]] = ObjectAccess(
+                mode,
+                loads=touched if mode.reads else 0,
+                stores=touched // 2 if mode.writes else 0,
+                pattern=PATTERNS[draw(st.sampled_from(pattern_names))],
+            )
+        graph.add(
+            Task(
+                name=f"t{i}",
+                type_name=f"k{i % 4}",
+                accesses=accesses,
+                compute_time=draw(st.floats(0, 1e-3)),
+                iteration=i // 4,
+            )
+        )
+    return graph
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=random_program(), workers=st.integers(1, 8))
+def test_execution_invariants_nvm_only(graph, workers):
+    hms = HeterogeneousMemorySystem(dram(), nvm_bandwidth_scaled(0.5))
+    tr = Executor(hms, ExecutorConfig(n_workers=workers)).run(graph, NVMOnlyPolicy())
+    tr.validate()
+    assert len(tr.records) == len(graph.tasks)
+    # dependence order respected in time
+    finish = {r.task.tid: r.finish for r in tr.records}
+    start = {r.task.tid: r.start for r in tr.records}
+    for t in graph.tasks:
+        for p in graph.predecessors(t):
+            assert start[t.tid] >= finish[p.tid] - 1e-12
+    hms.check_invariants()
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph=random_program())
+def test_dram_only_never_slower_than_nvm_only(graph):
+    """DRAM strictly dominates this NVM config, so a DRAM-only run can
+    never lose to an NVM-only run of the same program."""
+    nvm = nvm_bandwidth_scaled(0.5)
+    big = dram(max(2 * graph.total_object_bytes(), 64 * MIB))
+    t_dram = Executor(
+        HeterogeneousMemorySystem(big, nvm), ExecutorConfig(n_workers=4)
+    ).run(graph, DRAMOnlyPolicy())
+    t_nvm = Executor(
+        HeterogeneousMemorySystem(dram(), nvm), ExecutorConfig(n_workers=4)
+    ).run(graph, NVMOnlyPolicy())
+    assert t_dram.makespan <= t_nvm.makespan + 1e-12
+
+
+@settings(max_examples=15, deadline=None)
+@given(graph=random_program())
+def test_manager_respects_machine_invariants(graph):
+    """The data manager may win or lose on adversarial random programs,
+    but it must never corrupt machine state or break execution order."""
+    hms = HeterogeneousMemorySystem(dram(int(16 * MIB)), nvm_bandwidth_scaled(0.5))
+    tr = Executor(hms, ExecutorConfig(n_workers=4)).run(graph, DataManagerPolicy())
+    tr.validate()
+    hms.check_invariants()
+    # every object is placed exactly once on exactly one device
+    assert set(hms.residency()) == {o.uid for o in graph.objects}

@@ -1,0 +1,91 @@
+"""Public API surface: imports, exports, and the README quickstart."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestImportSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.memory",
+            "repro.tasking",
+            "repro.profiling",
+            "repro.core",
+            "repro.baselines",
+            "repro.workloads",
+            "repro.experiments",
+            "repro.util",
+        ],
+    )
+    def test_subpackages_import(self, module):
+        importlib.import_module(module)
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro",
+            "repro.memory",
+            "repro.tasking",
+            "repro.core",
+            "repro.baselines",
+            "repro.profiling",
+            "repro.util",
+        ],
+    )
+    def test_all_exports_resolve(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.__all__ lists missing {name}"
+
+    def test_root_exports_are_usable(self):
+        assert callable(repro.TaskRuntime)
+        assert callable(repro.DataManagerPolicy)
+        assert callable(repro.read_footprint)
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet_runs(self):
+        from repro import (
+            DataManagerPolicy,
+            TaskRuntime,
+            read_footprint,
+            update_footprint,
+        )
+        from repro.memory.presets import dram, nvm_bandwidth_scaled
+        from repro.util.units import MIB
+
+        rt = TaskRuntime(dram=dram(16 * MIB), nvm=nvm_bandwidth_scaled(0.5))
+        hot = rt.data("hot_state", 8 * MIB)
+        cold = rt.data("cold_table", 48 * MIB)
+        for step in range(16):
+            rt.spawn(
+                f"update[{step}]",
+                {
+                    hot: update_footprint(8 * MIB, 8 * MIB, reuse=4.0),
+                    cold: read_footprint(3 * MIB),
+                },
+                compute_time=2e-4,
+                type_name="update",
+                iteration=step,
+            )
+        trace = rt.run(DataManagerPolicy())
+        summary = trace.summary()
+        assert summary["makespan"] > 0
+        assert summary["n_tasks"] == 16
+        assert "migration_overlap" in summary
+
+    def test_examples_are_importable_programs(self):
+        import ast
+        from pathlib import Path
+
+        for path in sorted(Path("examples").glob("*.py")):
+            tree = ast.parse(path.read_text())
+            names = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+            assert "main" in names, f"{path} lacks a main()"

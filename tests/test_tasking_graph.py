@@ -1,0 +1,215 @@
+"""Task graph: dependence inference, analyses, manual edges."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tasking.access import AccessMode, ObjectAccess
+from repro.tasking.dataobj import DataObject
+from repro.tasking.footprints import read_footprint, update_footprint, write_footprint
+from repro.tasking.graph import DependenceKind, TaskGraph
+from repro.tasking.task import Task
+from repro.util.units import MIB
+
+
+def mk_obj(name="o", mib=1.0):
+    return DataObject(name=name, size_bytes=int(mib * MIB))
+
+
+def mk_task(name, accesses, type_name=None):
+    return Task(name=name, type_name=type_name or name, accesses=accesses)
+
+
+class TestDependenceInference:
+    def test_raw_dependence(self):
+        g = TaskGraph()
+        o = mk_obj()
+        w = g.add(mk_task("w", {o: write_footprint(o.size_bytes)}))
+        r = g.add(mk_task("r", {o: read_footprint(o.size_bytes)}))
+        assert g.predecessors(r) == [w]
+        kinds = {d.kind for d in g.dependences}
+        assert DependenceKind.RAW in kinds
+
+    def test_waw_dependence(self):
+        g = TaskGraph()
+        o = mk_obj()
+        w1 = g.add(mk_task("w1", {o: write_footprint(o.size_bytes)}))
+        w2 = g.add(mk_task("w2", {o: write_footprint(o.size_bytes)}))
+        assert g.predecessors(w2) == [w1]
+
+    def test_war_dependence(self):
+        g = TaskGraph()
+        o = mk_obj()
+        g.add(mk_task("w0", {o: write_footprint(o.size_bytes)}))
+        r = g.add(mk_task("r", {o: read_footprint(o.size_bytes)}))
+        w = g.add(mk_task("w", {o: write_footprint(o.size_bytes)}))
+        assert r in g.predecessors(w)
+        assert DependenceKind.WAR in {d.kind for d in g.dependences}
+
+    def test_independent_readers_are_parallel(self):
+        g = TaskGraph()
+        o = mk_obj()
+        g.add(mk_task("w", {o: write_footprint(o.size_bytes)}))
+        r1 = g.add(mk_task("r1", {o: read_footprint(o.size_bytes)}))
+        r2 = g.add(mk_task("r2", {o: read_footprint(o.size_bytes)}))
+        assert r1 not in g.predecessors(r2)
+        assert r2 not in g.predecessors(r1)
+
+    def test_disjoint_objects_no_edges(self):
+        g = TaskGraph()
+        t1 = g.add(mk_task("a", {mk_obj("x"): update_footprint(8, 8)}))
+        t2 = g.add(mk_task("b", {mk_obj("y"): update_footprint(8, 8)}))
+        assert not g.predecessors(t2) and not g.successors(t1)
+
+    def test_infer_deps_false_skips_inference(self):
+        g = TaskGraph()
+        o = mk_obj()
+        acc = ObjectAccess(AccessMode.WRITE, loads=0, stores=8, infer_deps=False)
+        g.add(mk_task("w1", {o: acc}))
+        w2 = g.add(mk_task("w2", {o: acc}))
+        assert g.predecessors(w2) == []
+
+    def test_manual_edge(self):
+        g = TaskGraph()
+        o = mk_obj()
+        acc = ObjectAccess(AccessMode.WRITE, loads=0, stores=8, infer_deps=False)
+        a = g.add(mk_task("a", {o: acc}))
+        b = g.add(mk_task("b", {o: acc}))
+        g.add_edge(a, b)
+        assert g.predecessors(b) == [a]
+
+    def test_manual_edge_must_point_forward(self):
+        g = TaskGraph()
+        o = mk_obj()
+        a = g.add(mk_task("a", {o: update_footprint(8, 8)}))
+        b = g.add(mk_task("b", {o: update_footprint(8, 8)}))
+        with pytest.raises(ValueError):
+            g.add_edge(b, a)
+
+    def test_duplicate_task_rejected(self):
+        g = TaskGraph()
+        t = mk_task("t", {mk_obj(): update_footprint(8, 8)})
+        g.add(t)
+        with pytest.raises(ValueError):
+            g.add(t)
+
+
+class TestAnalyses:
+    def chain(self, n=5):
+        g = TaskGraph()
+        o = mk_obj()
+        for i in range(n):
+            g.add(
+                Task(
+                    name=f"s{i}",
+                    type_name="s",
+                    accesses={o: update_footprint(o.size_bytes, o.size_bytes)},
+                    compute_time=1.0,
+                )
+            )
+        return g
+
+    def test_topological_order_is_spawn_order_for_chain(self):
+        g = self.chain()
+        assert [t.name for t in g.topological_order()] == [t.name for t in g.tasks]
+
+    def test_critical_path_of_chain(self):
+        g = self.chain(5)
+        length, path = g.critical_path(lambda t: t.compute_time)
+        assert length == pytest.approx(5.0)
+        assert len(path) == 5
+
+    def test_critical_path_of_parallel_tasks(self):
+        g = TaskGraph()
+        for i in range(4):
+            g.add(
+                Task(
+                    name=f"p{i}",
+                    type_name="p",
+                    accesses={mk_obj(f"o{i}"): update_footprint(8, 8)},
+                    compute_time=float(i + 1),
+                )
+            )
+        length, path = g.critical_path(lambda t: t.compute_time)
+        assert length == pytest.approx(4.0)
+        assert len(path) == 1
+
+    def test_bottom_levels(self):
+        g = self.chain(3)
+        levels = g.bottom_levels(lambda t: 1.0)
+        firsts = g.tasks[0]
+        assert levels[firsts.tid] == pytest.approx(3.0)
+        assert levels[g.tasks[-1].tid] == pytest.approx(1.0)
+
+    def test_depths(self):
+        g = self.chain(4)
+        depths = g.depths()
+        assert [depths[t.tid] for t in g.tasks] == [0, 1, 2, 3]
+
+    def test_roots_and_objects(self):
+        g = self.chain(3)
+        assert len(g.roots()) == 1
+        assert len(g.objects) == 1
+
+    def test_tasks_using(self):
+        g = TaskGraph()
+        o1, o2 = mk_obj("a"), mk_obj("b")
+        t1 = g.add(mk_task("t1", {o1: update_footprint(8, 8)}))
+        g.add(mk_task("t2", {o2: update_footprint(8, 8)}))
+        assert g.tasks_using(o1) == [t1]
+
+    def test_to_networkx(self):
+        g = self.chain(3)
+        nx_g = g.to_networkx()
+        assert nx_g.number_of_nodes() == 3
+        assert nx_g.number_of_edges() == 2
+
+    def test_validate(self):
+        g = self.chain(3)
+        g.validate()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    accesses=st.lists(
+        st.tuples(st.integers(0, 5), st.sampled_from(["read", "write", "readwrite"])),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_dependence_inference_properties(accesses):
+    """Property: the inferred graph is acyclic, edges point forward in
+    spawn order, and any two tasks where the second writes an object the
+    first touched are ordered."""
+    g = TaskGraph()
+    objs = [mk_obj(f"o{i}") for i in range(6)]
+    for i, (oi, mode) in enumerate(accesses):
+        m = AccessMode(mode)
+        acc = ObjectAccess(
+            m,
+            loads=8 if m.reads else 0,
+            stores=8 if m.writes else 0,
+        )
+        g.add(Task(name=f"t{i}", type_name="t", accesses={objs[oi]: acc}))
+    g.validate()
+    order = {t.tid: i for i, t in enumerate(g.tasks)}
+    for t in g.tasks:
+        for s in g.successors(t):
+            assert order[s.tid] > order[t.tid]
+    # conflict ordering: writer after any toucher of the same object
+    for i, a in enumerate(g.tasks):
+        for b in g.tasks[i + 1 :]:
+            for obj in a.accesses:
+                if obj in b.accesses and b.accesses[obj].mode.writes:
+                    # b must be reachable from a
+                    seen, stack = set(), [a]
+                    while stack:
+                        cur = stack.pop()
+                        if cur is b:
+                            stack = None
+                            break
+                        if cur.tid in seen:
+                            continue
+                        seen.add(cur.tid)
+                        stack.extend(g.successors(cur))
+                    assert stack is None, f"{a.name} and {b.name} unordered"

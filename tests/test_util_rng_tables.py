@@ -1,0 +1,86 @@
+"""Deterministic RNG plumbing and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import spawn_rng
+from repro.util.tables import Table
+from repro.util.validation import require, require_nonnegative, require_positive
+
+
+class TestSpawnRng:
+    def test_same_seed_same_stream(self):
+        a = spawn_rng(42, "x").integers(0, 1 << 30, 10)
+        b = spawn_rng(42, "x").integers(0, 1 << 30, 10)
+        assert np.array_equal(a, b)
+
+    def test_different_keys_different_streams(self):
+        a = spawn_rng(42, "x").integers(0, 1 << 30, 10)
+        b = spawn_rng(42, "y").integers(0, 1 << 30, 10)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_different_streams(self):
+        a = spawn_rng(1, "x").integers(0, 1 << 30, 10)
+        b = spawn_rng(2, "x").integers(0, 1 << 30, 10)
+        assert not np.array_equal(a, b)
+
+    def test_int_and_string_keys(self):
+        assert not np.array_equal(
+            spawn_rng(7, 3).integers(0, 1 << 30, 5),
+            spawn_rng(7, 4).integers(0, 1 << 30, 5),
+        )
+
+    def test_none_seed_is_stable(self):
+        a = spawn_rng(None, "z").integers(0, 1 << 30, 5)
+        b = spawn_rng(None, "z").integers(0, 1 << 30, 5)
+        assert np.array_equal(a, b)
+
+    def test_generator_seed_derives_child(self):
+        parent = spawn_rng(5)
+        child = spawn_rng(parent, "c")
+        assert isinstance(child, np.random.Generator)
+
+
+class TestTable:
+    def test_render_alignment_and_title(self):
+        t = Table(["name", "value"], title="demo")
+        t.add_row(["a", 1.23456])
+        t.add_row(["longer", 2.0])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "1.235" in out and "2.000" in out
+
+    def test_wrong_arity_raises(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_to_dicts(self):
+        t = Table(["x", "y"])
+        t.add_row([1, 2])
+        assert t.to_dicts() == [{"x": 1, "y": 2}]
+
+    def test_float_format_override(self):
+        t = Table(["v"], float_format="{:.1f}")
+        t.add_row([3.14159])
+        assert "3.1" in t.render() and "3.14" not in t.render()
+
+
+class TestValidation:
+    def test_require_passes_and_fails(self):
+        require(True, "ok")
+        with pytest.raises(ValueError, match="nope"):
+            require(False, "nope")
+
+    def test_require_positive(self):
+        require_positive(1e-9, "x")
+        with pytest.raises(ValueError):
+            require_positive(0, "x")
+        with pytest.raises(ValueError):
+            require_positive(-1, "x")
+
+    def test_require_nonnegative(self):
+        require_nonnegative(0, "x")
+        with pytest.raises(ValueError):
+            require_nonnegative(-1e-9, "x")
