@@ -14,7 +14,27 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _session_result_cache(tmp_path_factory):
+    """Route every run through a fresh per-session result cache.
+
+    The E-modules repeat identical reference runs (DRAM-only/NVM-only for
+    the same workload and NVM config); with the cache each point is
+    simulated exactly once per benchmark session, while a fresh directory
+    per session keeps the timed cold runs honest across sessions.
+    """
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
 
 
 def attach_metrics(benchmark, result, keys=None):

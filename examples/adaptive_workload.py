@@ -15,43 +15,51 @@ re-profiling can catch it:
   past the 10 % rule, the type is re-profiled, and the placement swaps —
   the paper's workload-variation (Nek5000) scenario.
 
+The five full-size runs are one ``run_many`` batch over
+:class:`RunSpec` values; the on-disk result cache makes re-runs instant.
+
 Run:  python examples/adaptive_workload.py
 """
 
-from repro.experiments.runner import run_workload
+from repro.experiments import RunSpec, run_many
 from repro.memory.presets import nvm_bandwidth_scaled
 from repro.util.tables import Table
 from repro.util.units import MIB
 
 DRAM_CAP = 28 * MIB  # room for one 24 MiB table (plus scratch)
 
+SYSTEMS = (
+    ("nvm-only", "nvm-only"),
+    ("x-mem (offline static)", "xmem"),
+    ("manager, adaptation OFF", "tahoe-noadapt"),
+    ("manager, adaptation ON", "tahoe"),
+)
+
+
+def spec(policy: str) -> RunSpec:
+    return RunSpec(
+        "phaseshift", policy, nvm_bandwidth_scaled(0.5), dram_capacity=DRAM_CAP, fast=False
+    )
+
 
 def main() -> None:
-    nvm = nvm_bandwidth_scaled(0.5)
+    specs = [spec("dram-only")] + [spec(policy) for _, policy in SYSTEMS]
+    res = {r.spec: r for r in run_many(specs, strict=True)}
+    ref = res[spec("dram-only")].makespan
+
     table = Table(
         ["system", "vs DRAM-only", "migrations", "re-profiling triggers"],
         title="phaseshift: table hotness inverts halfway (DRAM fits one table)",
         float_format="{:.3f}",
     )
-    ref = run_workload(
-        "phaseshift", "dram-only", nvm, dram_capacity=DRAM_CAP, fast=False
-    ).makespan
-
-    for label, policy in (
-        ("nvm-only", "nvm-only"),
-        ("x-mem (offline static)", "xmem"),
-        ("manager, adaptation OFF", "tahoe-noadapt"),
-        ("manager, adaptation ON", "tahoe"),
-    ):
-        tr = run_workload(
-            "phaseshift", policy, nvm, dram_capacity=DRAM_CAP, fast=False
-        )
-        stats = tr.meta.get("manager_stats", {})
+    for label, policy in SYSTEMS:
+        r = res[spec(policy)]
+        stats = r.summary.get("manager_stats", {})
         table.add_row(
             [
                 label,
-                tr.makespan / ref,
-                tr.migration_count,
+                r.makespan / ref,
+                r.migrations,
                 int(stats.get("adaptation_triggers", 0)),
             ]
         )

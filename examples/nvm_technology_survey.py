@@ -4,12 +4,16 @@
 Runs two contrasting workloads (bandwidth-bound heat, latency-bound
 health) across the Table-1 device presets — STT-RAM, PCRAM, ReRAM, Optane
 PM — comparing NVM-only against the data manager, normalized to
-DRAM-only.
+DRAM-only.  All 24 runs are described as :class:`RunSpec` values and
+executed in one ``run_many`` batch, so re-runs are free (result cache)
+and ``--workers N`` fans them out over processes.
 
-Run:  python examples/nvm_technology_survey.py
+Run:  python examples/nvm_technology_survey.py [--workers N]
 """
 
-from repro.experiments.runner import run_workload
+import sys
+
+from repro.experiments import RunSpec, run_many
 from repro.memory.presets import optane_pm, pcram, reram, stt_ram
 from repro.util.tables import Table
 
@@ -21,9 +25,22 @@ DEVICES = {
 }
 
 WORKLOADS = ("heat", "health")
+POLICIES = ("dram-only", "nvm-only", "tahoe")
 
 
 def main() -> None:
+    workers = None
+    if "--workers" in sys.argv:
+        workers = int(sys.argv[sys.argv.index("--workers") + 1])
+
+    specs = [
+        RunSpec(wl, pol, factory(), fast=True)
+        for wl in WORKLOADS
+        for factory in DEVICES.values()
+        for pol in POLICIES
+    ]
+    res = {r.spec: r for r in run_many(specs, workers=workers, strict=True)}
+
     for wl in WORKLOADS:
         table = Table(
             ["device", "nvm-only", "data manager", "gap closed %"],
@@ -32,9 +49,9 @@ def main() -> None:
         )
         for name, factory in DEVICES.items():
             nvm = factory()
-            ref = run_workload(wl, "dram-only", nvm, fast=True).makespan
-            nv = run_workload(wl, "nvm-only", nvm, fast=True).makespan / ref
-            tah = run_workload(wl, "tahoe", nvm, fast=True).makespan / ref
+            ref = res[RunSpec(wl, "dram-only", nvm, fast=True)].makespan
+            nv = res[RunSpec(wl, "nvm-only", nvm, fast=True)].makespan / ref
+            tah = res[RunSpec(wl, "tahoe", nvm, fast=True)].makespan / ref
             closed = 100.0 * (nv - tah) / (nv - 1.0) if nv > 1.01 else 100.0
             table.add_row([name, nv, tah, closed])
         print(table.render())

@@ -40,7 +40,28 @@ from repro.memory.hms import HeterogeneousMemorySystem
 
 __version__ = "1.0.0"
 
+#: Experiment-harness surface re-exported lazily (PEP 562) so that
+#: ``import repro`` stays light and free of import cycles.
+_EXPERIMENT_EXPORTS = (
+    "RunSpec",
+    "RunResult",
+    "run_many",
+    "run_spec",
+    "run_workload",
+    "make_policy",
+)
+
+
+def __getattr__(name: str):
+    if name in _EXPERIMENT_EXPORTS:
+        from repro import experiments
+
+        return getattr(experiments, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    *_EXPERIMENT_EXPORTS,
     "TaskRuntime",
     "AccessMode",
     "ObjectAccess",

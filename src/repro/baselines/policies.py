@@ -59,14 +59,23 @@ class StaticPlacementPolicy(BasePolicy):
 
     name = "static"
 
-    def __init__(self, dram_uids: set[int], name: str | None = None):
-        self.dram_uids = set(dram_uids)
+    def __init__(
+        self,
+        dram_uids: set[int] | None = None,
+        name: str | None = None,
+        dram_names: tuple[str, ...] = (),
+    ):
+        self.dram_uids = set(dram_uids or ())
+        #: Object *names* to pin — unlike uids (a process-global counter),
+        #: names are stable across rebuilds, so plans described by name
+        #: survive pickling into worker processes and the result cache.
+        self.dram_names = frozenset(dram_names)
         if name:
             self.name = name
 
     def on_run_start(self, ctx: ExecContext) -> None:
         for obj in ctx.graph.objects:
-            if obj.uid in self.dram_uids:
+            if obj.uid in self.dram_uids or obj.name in self.dram_names:
                 ctx.place_initial(obj, ctx.dram)
 
 

@@ -1,0 +1,140 @@
+"""On-disk content-addressed result cache for simulated runs.
+
+Results live as one JSON file per :meth:`RunSpec.cache_key` under
+``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``).  Because the key
+already mixes in the code/model version salt, a model change simply
+makes old entries unreachable — no explicit migration needed.
+
+Writes go through a temp file + ``os.replace`` so concurrent sweeps
+(including ``run_many`` worker fan-out) never observe torn entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "ResultCache",
+    "cache_dir",
+    "get_cache",
+    "set_cache_enabled",
+    "cache_enabled",
+]
+
+
+def cache_dir() -> Path:
+    """Resolve the cache directory from the environment."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+class ResultCache:
+    """A directory of ``<sha256>.json`` result payloads with hit/miss stats."""
+
+    def __init__(self, path: Path | str | None = None):
+        self.path = Path(path).expanduser() if path is not None else cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    # ------------------------------------------------------------------
+    def _entry(self, key: str) -> Path:
+        return self.path / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stored payload for ``key``, or ``None`` on a miss (missing
+        or unreadable entries both count as misses)."""
+        entry = self._entry(key)
+        try:
+            with entry.open("r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Atomically store ``payload`` under ``key``."""
+        self.path.mkdir(parents=True, exist_ok=True)
+        entry = self._entry(key)
+        tmp = entry.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with tmp.open("w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp, entry)
+        finally:
+            tmp.unlink(missing_ok=True)
+        self.puts += 1
+
+    def invalidate(self, key: str | None = None) -> int:
+        """Drop one entry (or every entry when ``key`` is ``None``);
+        returns the number of files removed."""
+        removed = 0
+        targets = [self._entry(key)] if key is not None else list(self.path.glob("*.json"))
+        for entry in targets:
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    # ------------------------------------------------------------------
+    def entries(self) -> int:
+        return sum(1 for _ in self.path.glob("*.json"))
+
+    def size_bytes(self) -> int:
+        return sum(e.stat().st_size for e in self.path.glob("*.json"))
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "path": str(self.path),
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "entries": self.entries(),
+            "size_bytes": self.size_bytes(),
+        }
+
+    def describe(self) -> str:
+        s = self.stats()
+        return (
+            f"cache {s['path']}: {s['hits']} hits / {s['misses']} misses "
+            f"this session, {s['entries']} entries ({s['size_bytes']} B)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Process-wide default cache
+# ----------------------------------------------------------------------
+_ENABLED = True
+_CACHES: dict[Path, ResultCache] = {}
+
+
+def set_cache_enabled(enabled: bool) -> None:
+    """Process-wide switch (the CLI's ``--no-cache``)."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+def cache_enabled() -> bool:
+    return _ENABLED and not os.environ.get("REPRO_NO_CACHE")
+
+
+def get_cache() -> ResultCache | None:
+    """The default cache for the current ``REPRO_CACHE_DIR``, or ``None``
+    when caching is disabled.  One instance per directory, so hit/miss
+    statistics accumulate across calls."""
+    if not cache_enabled():
+        return None
+    path = cache_dir()
+    cache = _CACHES.get(path)
+    if cache is None:
+        cache = _CACHES[path] = ResultCache(path)
+    return cache

@@ -2,9 +2,12 @@
 
 Usage::
 
-    repro-experiments e1 e3            # specific experiments
-    repro-experiments all              # the whole suite
-    repro-experiments all --full       # full problem sizes
+    repro-experiments e1 e3              # specific experiments
+    repro-experiments all                # the whole suite
+    repro-experiments all --full         # full problem sizes
+    repro-experiments e3 --workers 4     # fan runs out over 4 processes
+    repro-experiments e3 --no-cache      # force re-simulation
+    repro-experiments e3 --cache-stats   # report hit/miss counts at the end
 """
 
 from __future__ import annotations
@@ -13,6 +16,8 @@ import argparse
 import sys
 import time
 
+from repro.experiments.cache import get_cache, set_cache_enabled
+from repro.experiments.parallel import set_default_workers
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 
 __all__ = ["main"]
@@ -33,7 +38,29 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="use full problem sizes (default: fast sizes)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="processes for run fan-out (default: $REPRO_WORKERS or serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache ($REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print result-cache hit/miss statistics after the run",
+    )
     args = parser.parse_args(argv)
+
+    if args.workers is not None:
+        set_default_workers(args.workers)
+    if args.no_cache:
+        set_cache_enabled(False)
 
     keys = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
     rc = 0
@@ -49,6 +76,10 @@ def main(argv: list[str] | None = None) -> int:
         elapsed = time.perf_counter() - start
         print(result.render())
         print(f"[{key}: {elapsed:.1f}s]\n")
+
+    if args.cache_stats:
+        cache = get_cache()
+        print(cache.describe() if cache is not None else "cache disabled")
     return rc
 
 

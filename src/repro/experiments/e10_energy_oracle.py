@@ -22,9 +22,10 @@ migration stays a small fraction of the application's own NVM writes.
 
 from __future__ import annotations
 
-from repro.experiments.runner import ExperimentResult, run_workload
-from repro.memory.energy import EnergyReport
-from repro.memory.presets import dram as dram_preset, nvm_bandwidth_scaled
+from repro.experiments.parallel import run_many
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.spec import RunSpec
+from repro.memory.presets import nvm_bandwidth_scaled
 from repro.util.tables import Table
 
 EXPERIMENT = "E10"
@@ -34,7 +35,11 @@ WORKLOADS = ("cg", "heat", "health", "sparselu")
 SYSTEMS = ("nvm-only", "xmem", "tahoe", "oracle-static")
 
 
-def run(fast: bool = True, workloads: tuple[str, ...] = WORKLOADS) -> ExperimentResult:
+def run(
+    fast: bool = True,
+    workloads: tuple[str, ...] = WORKLOADS,
+    workers: int | None = None,
+) -> ExperimentResult:
     result = ExperimentResult(EXPERIMENT, TITLE)
     nvm = nvm_bandwidth_scaled(0.5)
 
@@ -50,17 +55,21 @@ def run(fast: bool = True, workloads: tuple[str, ...] = WORKLOADS) -> Experiment
         float_format="{:.2f}",
     )
 
+    specs = [
+        RunSpec(name, system, nvm, fast=fast)
+        for name in workloads
+        for system in ("dram-only",) + SYSTEMS
+    ]
+    res = {r.spec: r for r in run_many(specs, workers=workers, strict=True)}
+
     for name in workloads:
-        ref_trace = run_workload(name, "dram-only", nvm, fast=fast)
-        ref = ref_trace.makespan
+        ref = res[RunSpec(name, "dram-only", nvm, fast=fast)].makespan
         norms = {}
         for system in SYSTEMS:
-            tr = run_workload(name, system, nvm, fast=fast)
+            tr = res[RunSpec(name, system, nvm, fast=fast)]
             norms[system] = tr.makespan / ref
             result.metrics[f"{name}/{system}"] = norms[system]
-            dram_dev = dram_preset(tr.meta["dram_capacity"])
-            rep = EnergyReport.from_trace(tr, dram_dev, nvm)
-            s = rep.summary()
+            s = tr.energy
             energy.add_row(
                 [
                     name,

@@ -15,28 +15,24 @@ FIFO+manager by more than noise.
 
 from __future__ import annotations
 
-from repro.core.manager import DataManagerPolicy
-from repro.baselines import NVMOnlyPolicy
-from repro.experiments.runner import ExperimentResult, workload_params
-from repro.memory.hms import HeterogeneousMemorySystem
-from repro.memory.presets import dram as dram_preset, nvm_bandwidth_scaled
-from repro.tasking.executor import Executor, ExecutorConfig
-from repro.tasking.scheduler import CriticalPathPolicy, FIFOPolicy, MemoryAwarePolicy
+from repro.experiments.parallel import run_many
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.spec import RunSpec
+from repro.memory.presets import nvm_bandwidth_scaled
 from repro.util.tables import Table
-from repro.workloads import build
 
 EXPERIMENT = "E11"
 TITLE = "Scheduling/placement co-design (extension)"
 
 WORKLOADS = ("cg", "heat", "sparselu", "kmeans")
-SCHEDULERS = {
-    "fifo": FIFOPolicy,
-    "critical-path": CriticalPathPolicy,
-    "memory-aware": MemoryAwarePolicy,
-}
+SCHEDULERS = ("fifo", "critical-path", "memory-aware")
 
 
-def run(fast: bool = True, workloads: tuple[str, ...] = WORKLOADS) -> ExperimentResult:
+def run(
+    fast: bool = True,
+    workloads: tuple[str, ...] = WORKLOADS,
+    workers: int | None = None,
+) -> ExperimentResult:
     result = ExperimentResult(EXPERIMENT, TITLE)
     nvm = nvm_bandwidth_scaled(0.5)
     table = Table(
@@ -47,29 +43,25 @@ def run(fast: bool = True, workloads: tuple[str, ...] = WORKLOADS) -> Experiment
         float_format="{:.3f}",
     )
 
-    def one(name, sched_cls, policy):
-        w = build(name, **workload_params(name, fast))
-        hms = HeterogeneousMemorySystem(dram_preset(), nvm)
-        return Executor(hms, ExecutorConfig(n_workers=8), sched_cls()).run(
-            w.graph, policy
-        ).makespan
+    specs: list[RunSpec] = []
+    for name in workloads:
+        specs.append(RunSpec(name, "dram-only", nvm, fast=fast))
+        for sched in SCHEDULERS:
+            specs.append(RunSpec(name, "tahoe", nvm, fast=fast, scheduler=sched))
+        specs.append(RunSpec(name, "nvm-only", nvm, fast=fast, scheduler="memory-aware"))
+    res = {r.spec: r for r in run_many(specs, workers=workers, strict=True)}
 
     for name in workloads:
-        w = build(name, **workload_params(name, fast))
-        big = dram_preset(w.total_bytes * 2)
-        hms = HeterogeneousMemorySystem(big, nvm)
-        from repro.baselines import DRAMOnlyPolicy
-
-        ref = Executor(hms, ExecutorConfig(n_workers=8)).run(
-            w.graph, DRAMOnlyPolicy()
-        ).makespan
-
+        ref = res[RunSpec(name, "dram-only", nvm, fast=fast)].makespan
         row: list = [name]
-        for key, sched_cls in SCHEDULERS.items():
-            norm = one(name, sched_cls, DataManagerPolicy()) / ref
-            result.metrics[f"{name}/{key}"] = norm
+        for sched in SCHEDULERS:
+            norm = res[RunSpec(name, "tahoe", nvm, fast=fast, scheduler=sched)].makespan / ref
+            result.metrics[f"{name}/{sched}"] = norm
             row.append(norm)
-        norm = one(name, MemoryAwarePolicy, NVMOnlyPolicy()) / ref
+        norm = (
+            res[RunSpec(name, "nvm-only", nvm, fast=fast, scheduler="memory-aware")].makespan
+            / ref
+        )
         result.metrics[f"{name}/memaware-nvmonly"] = norm
         row.append(norm)
         table.add_row(row)

@@ -12,7 +12,9 @@ both.  Magnitudes land in the paper's 1.1x–8.4x band.
 
 from __future__ import annotations
 
-from repro.experiments.runner import ExperimentResult, run_workload
+from repro.experiments.parallel import run_many
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.spec import RunSpec
 from repro.memory.presets import nvm_bandwidth_scaled, nvm_latency_scaled
 from repro.util.tables import Table
 
@@ -36,7 +38,11 @@ BW_FRACTIONS = (0.5, 0.25, 0.125)
 LAT_MULTIPLIERS = (2.0, 4.0, 8.0)
 
 
-def run(fast: bool = True, workloads: tuple[str, ...] = WORKLOADS) -> ExperimentResult:
+def run(
+    fast: bool = True,
+    workloads: tuple[str, ...] = WORKLOADS,
+    workers: int | None = None,
+) -> ExperimentResult:
     result = ExperimentResult(EXPERIMENT, TITLE)
     bw_table = Table(
         ["workload", "dram"] + [f"bw-1/{int(1 / f)}" for f in BW_FRACTIONS],
@@ -49,12 +55,20 @@ def run(fast: bool = True, workloads: tuple[str, ...] = WORKLOADS) -> Experiment
         float_format="{:.2f}",
     )
 
+    specs: list[RunSpec] = []
     for name in workloads:
-        base = run_workload(name, "dram-only", nvm_bandwidth_scaled(0.5), fast=fast)
-        ref = base.makespan
+        specs.append(RunSpec(name, "dram-only", nvm_bandwidth_scaled(0.5), fast=fast))
+        for frac in BW_FRACTIONS:
+            specs.append(RunSpec(name, "nvm-only", nvm_bandwidth_scaled(frac), fast=fast))
+        for mult in LAT_MULTIPLIERS:
+            specs.append(RunSpec(name, "nvm-only", nvm_latency_scaled(mult), fast=fast))
+    res = {r.spec: r for r in run_many(specs, workers=workers, strict=True)}
+
+    for name in workloads:
+        ref = res[RunSpec(name, "dram-only", nvm_bandwidth_scaled(0.5), fast=fast)].makespan
         row_bw: list = [name, 1.0]
         for frac in BW_FRACTIONS:
-            t = run_workload(name, "nvm-only", nvm_bandwidth_scaled(frac), fast=fast)
+            t = res[RunSpec(name, "nvm-only", nvm_bandwidth_scaled(frac), fast=fast)]
             slow = t.makespan / ref
             row_bw.append(slow)
             result.metrics[f"{name}/bw-{frac:g}"] = slow
@@ -62,7 +76,7 @@ def run(fast: bool = True, workloads: tuple[str, ...] = WORKLOADS) -> Experiment
 
         row_lat: list = [name, 1.0]
         for mult in LAT_MULTIPLIERS:
-            t = run_workload(name, "nvm-only", nvm_latency_scaled(mult), fast=fast)
+            t = res[RunSpec(name, "nvm-only", nvm_latency_scaled(mult), fast=fast)]
             slow = t.makespan / ref
             row_lat.append(slow)
             result.metrics[f"{name}/lat-{mult:g}x"] = slow

@@ -13,13 +13,10 @@ under the *latency* configuration; CG's indices react to both.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
-from repro.baselines.policies import DRAMOnlyPolicy, NVMOnlyPolicy, StaticPlacementPolicy
+from repro.experiments.parallel import run_many
 from repro.experiments.runner import ExperimentResult, workload_params
-from repro.memory.hms import HeterogeneousMemorySystem
-from repro.memory.presets import dram as dram_preset, nvm_bandwidth_scaled, nvm_latency_scaled
-from repro.tasking.executor import Executor, ExecutorConfig
+from repro.experiments.spec import RunSpec
+from repro.memory.presets import nvm_bandwidth_scaled, nvm_latency_scaled
 from repro.util.tables import Table
 from repro.workloads import build
 
@@ -35,7 +32,7 @@ GROUPS = (
 )
 
 
-def run(fast: bool = True) -> ExperimentResult:
+def run(fast: bool = True, workers: int | None = None) -> ExperimentResult:
     result = ExperimentResult(EXPERIMENT, TITLE)
     table = Table(
         ["workload", "object group in DRAM", "bw-1/2", "lat-4x"],
@@ -46,39 +43,57 @@ def run(fast: bool = True) -> ExperimentResult:
 
     configs = {"bw-1/2": nvm_bandwidth_scaled(0.5), "lat-4x": nvm_latency_scaled(4.0)}
 
+    # The group is carried as object *names* (stable across rebuilds,
+    # unlike process-local uids) in the spec's policy overrides, so the
+    # runs stay cacheable and parallelizable like any other spec.
+    def group_spec(wl: str, label: str, names: tuple[str, ...], group_bytes: int, nvm) -> RunSpec:
+        return RunSpec(
+            wl,
+            "static",
+            nvm,
+            dram_capacity=max(group_bytes * 2, 256 * 2**20),
+            fast=fast,
+            policy_overrides={
+                "dram_names": names,
+                "name": f"only-{label}",
+            },
+        )
+
+    groups_by_wl: dict[str, list[tuple[str, tuple[str, ...], int]]] = {}
+    specs: list[RunSpec] = []
     for wl in ("cg", "health"):
         workload = build(wl, **workload_params(wl, fast))
-        refs = {}
-        nvm_rows = {}
-        for label, nvm in configs.items():
-            big = dram_preset(workload.total_bytes * 2)
-            hms = HeterogeneousMemorySystem(big, nvm)
-            refs[label] = Executor(hms, ExecutorConfig(n_workers=8)).run(
-                workload.graph, DRAMOnlyPolicy()
-            ).makespan
-            hms = HeterogeneousMemorySystem(dram_preset(), nvm)
-            nvm_rows[label] = (
-                Executor(hms, ExecutorConfig(n_workers=8))
-                .run(workload.graph, NVMOnlyPolicy())
-                .makespan
-                / refs[label]
-            )
+        for gw, label, pred in GROUPS:
+            if gw != wl:
+                continue
+            members = [o for o in workload.objects if pred(o.name)]
+            names = tuple(sorted({o.name for o in members}))
+            group_bytes = sum(o.size_bytes for o in members)
+            groups_by_wl.setdefault(wl, []).append((label, names, group_bytes))
+        for nvm in configs.values():
+            specs.append(RunSpec(wl, "dram-only", nvm, fast=fast))
+            specs.append(RunSpec(wl, "nvm-only", nvm, fast=fast))
+            for label, names, group_bytes in groups_by_wl[wl]:
+                specs.append(group_spec(wl, label, names, group_bytes, nvm))
+    res = {r.spec: r for r in run_many(specs, workers=workers, strict=True)}
+
+    for wl in ("cg", "health"):
+        refs = {
+            label: res[RunSpec(wl, "dram-only", nvm, fast=fast)].makespan
+            for label, nvm in configs.items()
+        }
+        nvm_rows = {
+            label: res[RunSpec(wl, "nvm-only", nvm, fast=fast)].makespan / refs[label]
+            for label, nvm in configs.items()
+        }
         table.add_row([wl, "<none> (NVM-only)", nvm_rows["bw-1/2"], nvm_rows["lat-4x"]])
         result.metrics[f"{wl}/none/bw"] = nvm_rows["bw-1/2"]
         result.metrics[f"{wl}/none/lat"] = nvm_rows["lat-4x"]
 
-        for gw, label, pred in GROUPS:
-            if gw != wl:
-                continue
-            uids = {o.uid for o in workload.objects if pred(o.name)}
-            group_bytes = sum(o.size_bytes for o in workload.objects if o.uid in uids)
+        for label, names, group_bytes in groups_by_wl[wl]:
             row: list = [wl, label]
             for cfg_label, nvm in configs.items():
-                dram_dev = dram_preset(max(group_bytes * 2, 256 * 2**20))
-                hms = HeterogeneousMemorySystem(dram_dev, nvm)
-                t = Executor(hms, ExecutorConfig(n_workers=8)).run(
-                    workload.graph, StaticPlacementPolicy(uids, name=f"only-{label}")
-                )
+                t = res[group_spec(wl, label, names, group_bytes, nvm)]
                 norm = t.makespan / refs[cfg_label]
                 row.append(norm)
                 key = "bw" if cfg_label == "bw-1/2" else "lat"

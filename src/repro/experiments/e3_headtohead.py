@@ -16,7 +16,9 @@ from __future__ import annotations
 
 import statistics
 
-from repro.experiments.runner import ExperimentResult, STANDARD_WORKLOADS, run_workload
+from repro.experiments.parallel import run_many
+from repro.experiments.runner import ExperimentResult, STANDARD_WORKLOADS
+from repro.experiments.spec import RunSpec
 from repro.memory.presets import nvm_bandwidth_scaled, nvm_latency_scaled
 from repro.util.tables import Table
 
@@ -27,13 +29,23 @@ SYSTEMS = ("nvm-only", "hw-cache", "xmem", "tahoe")
 
 
 def run(
-    fast: bool = True, workloads: tuple[str, ...] = STANDARD_WORKLOADS
+    fast: bool = True,
+    workloads: tuple[str, ...] = STANDARD_WORKLOADS,
+    workers: int | None = None,
 ) -> ExperimentResult:
     result = ExperimentResult(EXPERIMENT, TITLE)
     configs = {
         "bw-1/2": nvm_bandwidth_scaled(0.5),
         "lat-4x": nvm_latency_scaled(4.0),
     }
+    specs = [
+        RunSpec(name, system, nvm, fast=fast)
+        for nvm in configs.values()
+        for name in workloads
+        for system in ("dram-only",) + SYSTEMS
+    ]
+    res = {r.spec: r for r in run_many(specs, workers=workers, strict=True)}
+
     for label, nvm in configs.items():
         table = Table(
             ["workload", "dram-only"] + list(SYSTEMS),
@@ -43,11 +55,11 @@ def run(
         )
         closures = []
         for name in workloads:
-            ref = run_workload(name, "dram-only", nvm, fast=fast).makespan
+            ref = res[RunSpec(name, "dram-only", nvm, fast=fast)].makespan
             row: list = [name, 1.0]
             norms = {}
             for system in SYSTEMS:
-                t = run_workload(name, system, nvm, fast=fast)
+                t = res[RunSpec(name, system, nvm, fast=fast)]
                 norms[system] = t.makespan / ref
                 row.append(norms[system])
                 result.metrics[f"{name}/{label}/{system}"] = norms[system]

@@ -17,7 +17,9 @@ everywhere by removing warm-up migrations.
 
 from __future__ import annotations
 
-from repro.experiments.runner import ExperimentResult, run_workload
+from repro.experiments.parallel import run_many
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.spec import RunSpec
 from repro.memory.presets import nvm_bandwidth_scaled
 from repro.util.tables import Table
 from repro.util.units import MIB
@@ -27,7 +29,8 @@ TITLE = "Contribution of the four techniques"
 
 WORKLOADS = ("cg", "heat", "cholesky", "lu", "sparselu", "fft", "health")
 
-#: Cumulative configurations, each a POLICIES-style tahoe variant.
+#: Cumulative configurations: data-manager config overrides per stage,
+#: carried in each spec's ``policy_overrides`` (no registry mutation).
 STAGES = (
     ("global", dict(enable_local_search=False, enable_initial_placement=False)),
     ("+local", dict(enable_initial_placement=False)),
@@ -36,9 +39,21 @@ STAGES = (
 )
 
 
-def run(fast: bool = True, workloads: tuple[str, ...] = WORKLOADS) -> ExperimentResult:
-    from repro.experiments.runner import _tahoe
+def _stage_spec(name: str, stage: str, overrides: dict, nvm, fast: bool) -> RunSpec:
+    return RunSpec(
+        name,
+        "tahoe",
+        nvm,
+        fast=fast,
+        policy_overrides={"name": f"tahoe-{stage}", **overrides},
+    )
 
+
+def run(
+    fast: bool = True,
+    workloads: tuple[str, ...] = WORKLOADS,
+    workers: int | None = None,
+) -> ExperimentResult:
     result = ExperimentResult(EXPERIMENT, TITLE)
     norm_table = Table(
         ["workload", "nvm-only"] + [s for s, _ in STAGES],
@@ -52,16 +67,20 @@ def run(fast: bool = True, workloads: tuple[str, ...] = WORKLOADS) -> Experiment
     )
     nvm = nvm_bandwidth_scaled(0.5)
 
+    specs: list[RunSpec] = []
     for name in workloads:
-        ref = run_workload(name, "dram-only", nvm, fast=fast).makespan
-        nvm_norm = run_workload(name, "nvm-only", nvm, fast=fast).makespan / ref
+        specs.append(RunSpec(name, "dram-only", nvm, fast=fast))
+        specs.append(RunSpec(name, "nvm-only", nvm, fast=fast))
+        for stage_name, overrides in STAGES:
+            specs.append(_stage_spec(name, stage_name, overrides, nvm, fast))
+    res = {r.spec: r for r in run_many(specs, workers=workers, strict=True)}
+
+    for name in workloads:
+        ref = res[RunSpec(name, "dram-only", nvm, fast=fast)].makespan
+        nvm_norm = res[RunSpec(name, "nvm-only", nvm, fast=fast)].makespan / ref
         norms = []
         for stage_name, overrides in STAGES:
-            import repro.experiments.runner as runner_mod
-
-            key = f"__e4_{stage_name}"
-            runner_mod.POLICIES[key] = _tahoe(name=f"tahoe-{stage_name}", **overrides)
-            t = run_workload(name, key, nvm, fast=fast)
+            t = res[_stage_spec(name, stage_name, overrides, nvm, fast)]
             norms.append(t.makespan / ref)
             result.metrics[f"{name}/{stage_name}"] = norms[-1]
         norm_table.add_row([name, nvm_norm] + norms)

@@ -13,7 +13,9 @@ for stable hot sets, dozens-to-hundreds for shifting ones).
 
 from __future__ import annotations
 
-from repro.experiments.runner import ExperimentResult, STANDARD_WORKLOADS, run_workload
+from repro.experiments.parallel import run_many
+from repro.experiments.runner import ExperimentResult, STANDARD_WORKLOADS
+from repro.experiments.spec import RunSpec
 from repro.memory.presets import nvm_bandwidth_scaled
 from repro.util.tables import Table
 
@@ -22,7 +24,9 @@ TITLE = "Data-migration details for the data manager"
 
 
 def run(
-    fast: bool = True, workloads: tuple[str, ...] = STANDARD_WORKLOADS
+    fast: bool = True,
+    workloads: tuple[str, ...] = STANDARD_WORKLOADS,
+    workers: int | None = None,
 ) -> ExperimentResult:
     result = ExperimentResult(EXPERIMENT, TITLE)
     table = Table(
@@ -39,23 +43,25 @@ def run(
         float_format="{:.1f}",
     )
     nvm = nvm_bandwidth_scaled(0.5)
+    specs = [RunSpec(name, "tahoe", nvm, fast=fast) for name in workloads]
+    res = {r.spec: r for r in run_many(specs, workers=workers, strict=True)}
     for name in workloads:
-        t = run_workload(name, "tahoe", nvm, fast=fast)
-        stats = t.meta.get("manager_stats", {})
+        t = res[RunSpec(name, "tahoe", nvm, fast=fast)]
+        stats = t.summary.get("manager_stats", {})
         table.add_row(
             [
                 name,
-                t.migration_count,
+                t.migrations,
                 t.migrated_mib,
-                t.overhead_fraction() * 100.0,
-                t.migration_overlap() * 100.0,
+                t.overhead_fraction * 100.0,
+                t.overlap * 100.0,
                 int(stats.get("profiled_tasks", 0)),
                 int(stats.get("replans", 0)),
             ]
         )
-        result.metrics[f"{name}/migrations"] = float(t.migration_count)
-        result.metrics[f"{name}/overhead_pct"] = t.overhead_fraction() * 100.0
-        result.metrics[f"{name}/overlap_pct"] = t.migration_overlap() * 100.0
+        result.metrics[f"{name}/migrations"] = float(t.migrations)
+        result.metrics[f"{name}/overhead_pct"] = t.overhead_fraction * 100.0
+        result.metrics[f"{name}/overlap_pct"] = t.overlap * 100.0
 
     result.tables = [table]
     result.notes = (

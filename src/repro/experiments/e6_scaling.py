@@ -13,7 +13,9 @@ paper's adaptivity argument for scaling).
 
 from __future__ import annotations
 
-from repro.experiments.runner import ExperimentResult, run_workload
+from repro.experiments.parallel import run_many
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.spec import RunSpec
 from repro.memory.presets import numa_emulated
 from repro.util.tables import Table
 
@@ -22,27 +24,39 @@ TITLE = "Strong scaling of the data manager"
 
 WORKER_COUNTS = (4, 8, 16, 32, 64)
 WORKLOADS = ("cg", "cholesky")
+SYSTEMS = ("dram-only", "tahoe", "nvm-only")
 
 
-def run(fast: bool = True, workloads: tuple[str, ...] = WORKLOADS) -> ExperimentResult:
+def run(
+    fast: bool = True,
+    workloads: tuple[str, ...] = WORKLOADS,
+    workers: int | None = None,
+) -> ExperimentResult:
     result = ExperimentResult(EXPERIMENT, TITLE)
     nvm = numa_emulated()  # the paper's NUMA-emulated NVM: 0.6x BW, 1.89x lat
     counts = WORKER_COUNTS[:3] if fast else WORKER_COUNTS
+    specs = [
+        RunSpec(name, system, nvm, n_workers=w, fast=fast)
+        for name in workloads
+        for w in counts
+        for system in SYSTEMS
+    ]
+    res = {r.spec: r for r in run_many(specs, workers=workers, strict=True)}
+
     for name in workloads:
         table = Table(
             ["workers", "dram-only", "tahoe", "nvm-only", "dram makespan (s)"],
             title=f"{name}: strong scaling, NUMA-emulated NVM (0.6x BW, 1.89x lat)",
             float_format="{:.2f}",
         )
-        for workers in counts:
-            ref_trace = run_workload(name, "dram-only", nvm, n_workers=workers, fast=fast)
-            ref = ref_trace.makespan
-            tah = run_workload(name, "tahoe", nvm, n_workers=workers, fast=fast)
-            nv = run_workload(name, "nvm-only", nvm, n_workers=workers, fast=fast)
-            table.add_row([workers, 1.0, tah.makespan / ref, nv.makespan / ref, ref])
-            result.metrics[f"{name}/w{workers}/tahoe"] = tah.makespan / ref
-            result.metrics[f"{name}/w{workers}/nvm"] = nv.makespan / ref
-            result.metrics[f"{name}/w{workers}/dram_makespan"] = ref
+        for w in counts:
+            ref = res[RunSpec(name, "dram-only", nvm, n_workers=w, fast=fast)].makespan
+            tah = res[RunSpec(name, "tahoe", nvm, n_workers=w, fast=fast)].makespan
+            nv = res[RunSpec(name, "nvm-only", nvm, n_workers=w, fast=fast)].makespan
+            table.add_row([w, 1.0, tah / ref, nv / ref, ref])
+            result.metrics[f"{name}/w{w}/tahoe"] = tah / ref
+            result.metrics[f"{name}/w{w}/nvm"] = nv / ref
+            result.metrics[f"{name}/w{w}/dram_makespan"] = ref
         result.tables.append(table)
 
     result.notes = (

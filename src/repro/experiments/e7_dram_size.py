@@ -12,7 +12,9 @@ packs small hot objects.
 
 from __future__ import annotations
 
-from repro.experiments.runner import ExperimentResult, STANDARD_WORKLOADS, run_workload
+from repro.experiments.parallel import run_many
+from repro.experiments.runner import ExperimentResult, STANDARD_WORKLOADS
+from repro.experiments.spec import RunSpec
 from repro.memory.presets import nvm_bandwidth_scaled
 from repro.util.tables import Table
 from repro.util.units import MIB
@@ -24,7 +26,11 @@ SIZES_MIB = (128, 256, 512)
 WORKLOADS = STANDARD_WORKLOADS + ("mg",)
 
 
-def run(fast: bool = True, workloads: tuple[str, ...] = WORKLOADS) -> ExperimentResult:
+def run(
+    fast: bool = True,
+    workloads: tuple[str, ...] = WORKLOADS,
+    workers: int | None = None,
+) -> ExperimentResult:
     result = ExperimentResult(EXPERIMENT, TITLE)
     nvm = nvm_bandwidth_scaled(0.5)
     table = Table(
@@ -32,12 +38,20 @@ def run(fast: bool = True, workloads: tuple[str, ...] = WORKLOADS) -> Experiment
         title="Data manager, normalized time vs DRAM capacity (Fig. 13 analogue)",
         float_format="{:.2f}",
     )
+    specs: list[RunSpec] = []
     for name in workloads:
-        ref = run_workload(name, "dram-only", nvm, fast=fast).makespan
-        nv = run_workload(name, "nvm-only", nvm, fast=fast).makespan / ref
+        specs.append(RunSpec(name, "dram-only", nvm, fast=fast))
+        specs.append(RunSpec(name, "nvm-only", nvm, fast=fast))
+        for size in SIZES_MIB:
+            specs.append(RunSpec(name, "tahoe", nvm, dram_capacity=size * MIB, fast=fast))
+    res = {r.spec: r for r in run_many(specs, workers=workers, strict=True)}
+
+    for name in workloads:
+        ref = res[RunSpec(name, "dram-only", nvm, fast=fast)].makespan
+        nv = res[RunSpec(name, "nvm-only", nvm, fast=fast)].makespan / ref
         row: list = [name, nv]
         for size in SIZES_MIB:
-            t = run_workload(name, "tahoe", nvm, dram_capacity=size * MIB, fast=fast)
+            t = res[RunSpec(name, "tahoe", nvm, dram_capacity=size * MIB, fast=fast)]
             norm = t.makespan / ref
             row.append(norm)
             result.metrics[f"{name}/{size}MiB"] = norm

@@ -14,7 +14,9 @@ paper reports ~12 % average, up to 19 %).
 
 from __future__ import annotations
 
-from repro.experiments.runner import ExperimentResult, run_workload
+from repro.experiments.parallel import run_many
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.spec import RunSpec
 from repro.memory.presets import optane_pm
 from repro.util.tables import Table
 
@@ -25,7 +27,11 @@ WORKLOADS = ("cg", "heat", "cholesky", "lu", "sparselu", "nbody")
 SYSTEMS = ("nvm-only", "hw-cache", "xmem", "tahoe-nodrw", "tahoe")
 
 
-def run(fast: bool = True, workloads: tuple[str, ...] = WORKLOADS) -> ExperimentResult:
+def run(
+    fast: bool = True,
+    workloads: tuple[str, ...] = WORKLOADS,
+    workers: int | None = None,
+) -> ExperimentResult:
     result = ExperimentResult(EXPERIMENT, TITLE)
     nvm = optane_pm()
     table = Table(
@@ -33,11 +39,18 @@ def run(fast: bool = True, workloads: tuple[str, ...] = WORKLOADS) -> Experiment
         title="Normalized execution time on Optane-PM parameters (Fig. 14 analogue)",
         float_format="{:.2f}",
     )
+    specs = [
+        RunSpec(name, system, nvm, fast=fast)
+        for name in workloads
+        for system in ("dram-only",) + SYSTEMS
+    ]
+    res = {r.spec: r for r in run_many(specs, workers=workers, strict=True)}
+
     for name in workloads:
-        ref = run_workload(name, "dram-only", nvm, fast=fast).makespan
+        ref = res[RunSpec(name, "dram-only", nvm, fast=fast)].makespan
         row: list = [name, 1.0]
         for system in SYSTEMS:
-            t = run_workload(name, system, nvm, fast=fast)
+            t = res[RunSpec(name, system, nvm, fast=fast)]
             norm = t.makespan / ref
             row.append(norm)
             result.metrics[f"{name}/{system}"] = norm

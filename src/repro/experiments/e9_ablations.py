@@ -15,31 +15,92 @@ g. **Parallel-slack haircut on/off** — additive benefits in wave-limited
    regions (MG's single wave of smooths).
 h. **Lane backlog cap** — the volume guard that keeps storage-class
    write bandwidth (ReRAM) from drowning the run in its own copies.
+
+Every variant is a plain :class:`RunSpec` with ``policy_overrides`` —
+no registry mutation — so the whole study runs as one cached, parallel
+batch.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-import repro.experiments.runner as runner_mod
-from repro.experiments.runner import ExperimentResult, _tahoe, run_workload
-from repro.memory.presets import nvm_bandwidth_scaled, nvm_latency_scaled
+from repro.experiments.parallel import run_many
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.spec import RunSpec
+from repro.memory.presets import nvm_bandwidth_scaled, nvm_latency_scaled, reram
 from repro.util.tables import Table
+from repro.util.units import MIB
 
 EXPERIMENT = "E9"
 TITLE = "Design-choice ablations"
 
 
-def _variant(key: str, **overrides: Any) -> str:
-    """Register a throwaway tahoe variant and return its policy name."""
-    name = f"__e9_{key}"
-    runner_mod.POLICIES[name] = _tahoe(name=f"tahoe-{key}", **overrides)
-    return name
+def _tahoe_spec(workload: str, nvm, fast: bool, key: str, **overrides: Any) -> RunSpec:
+    """A data-manager variant spec named ``tahoe-<key>``."""
+    return RunSpec(
+        workload,
+        "tahoe",
+        nvm,
+        fast=fast,
+        policy_overrides={"name": f"tahoe-{key}", **overrides},
+    )
 
 
-def run(fast: bool = True) -> ExperimentResult:
+def run(fast: bool = True, workers: int | None = None) -> ExperimentResult:
     result = ExperimentResult(EXPERIMENT, TITLE)
     nvm = nvm_bandwidth_scaled(0.5)
+    nvm_lat = nvm_latency_scaled(4.0)
+    nvm_r = reram()
+    cap = 28 * MIB  # e. room for exactly one of the two tables
+
+    # Every run of the whole study, declared up front as one batch.
+    specs: list[RunSpec] = [
+        RunSpec("cholesky", "dram-only", nvm, fast=fast),
+        RunSpec("heat", "dram-only", nvm, fast=fast),
+        RunSpec("randomdag", "dram-only", nvm, fast=fast),
+        RunSpec("health", "dram-only", nvm_lat, fast=fast),
+        RunSpec("cg", "dram-only", nvm, fast=fast),
+        RunSpec("cholesky", "dram-only", nvm_lat, fast=fast),
+        RunSpec("mg", "dram-only", nvm, fast=fast),
+        RunSpec("phaseshift", "dram-only", nvm, dram_capacity=cap, fast=fast),
+        RunSpec("health", "dram-only", nvm_r, fast=fast),
+        RunSpec("health", "nvm-only", nvm_r, fast=fast),
+    ]
+    for depth in (8, 48, 128):
+        specs.append(
+            _tahoe_spec(
+                "cholesky", nvm, fast, f"look{depth}",
+                lookahead_tasks=depth, decide_every=max(4, depth // 2),
+            )
+        )
+    for interval in (100, 1000, 10000):
+        specs.append(
+            RunSpec(
+                "heat", "tahoe", nvm, fast=fast,
+                exec_overrides={"sampling_interval_cycles": interval},
+            )
+        )
+    for polname in ("tahoe", "tahoe-greedy"):
+        specs.append(RunSpec("randomdag", polname, nvm, fast=fast))
+        specs.append(RunSpec("health", polname, nvm_lat, fast=fast))
+    for k in (1, 2, 4):
+        specs.append(_tahoe_spec("cg", nvm, fast, f"prof{k}", profile_instances=k))
+    for polname in ("tahoe", "tahoe-noadapt"):
+        specs.append(RunSpec("phaseshift", polname, nvm, dram_capacity=cap, fast=fast))
+    for polname in ("tahoe", "tahoe-rawcounters"):
+        specs.append(RunSpec("cholesky", polname, nvm_lat, fast=fast))
+    for flag in (True, False):
+        specs.append(
+            _tahoe_spec(
+                "mg", nvm, fast, f"slack_{'on' if flag else 'off'}",
+                use_parallel_slack=flag,
+            )
+        )
+    for label, backlog in (("cap_on", 0.25), ("cap_off", 1e9)):
+        specs.append(_tahoe_spec("health", nvm_r, fast, label, max_lane_backlog_s=backlog))
+
+    res = {r.spec: r for r in run_many(specs, workers=workers, strict=True)}
 
     # ------------------------------------------------------- a. lookahead
     t = Table(
@@ -47,11 +108,15 @@ def run(fast: bool = True) -> ExperimentResult:
         title="a. Lookahead depth (cholesky, bw-1/2)",
         float_format="{:.2f}",
     )
-    ref = run_workload("cholesky", "dram-only", nvm, fast=fast).makespan
+    ref = res[RunSpec("cholesky", "dram-only", nvm, fast=fast)].makespan
     for depth in (8, 48, 128):
-        pol = _variant(f"look{depth}", lookahead_tasks=depth, decide_every=max(4, depth // 2))
-        tr = run_workload("cholesky", pol, nvm, fast=fast)
-        t.add_row([depth, tr.makespan / ref, tr.migration_count, tr.migration_overlap() * 100])
+        tr = res[
+            _tahoe_spec(
+                "cholesky", nvm, fast, f"look{depth}",
+                lookahead_tasks=depth, decide_every=max(4, depth // 2),
+            )
+        ]
+        t.add_row([depth, tr.makespan / ref, tr.migrations, tr.overlap * 100])
         result.metrics[f"lookahead/{depth}"] = tr.makespan / ref
     result.tables.append(t)
 
@@ -61,18 +126,17 @@ def run(fast: bool = True) -> ExperimentResult:
         title="b. Counter sampling interval (heat, bw-1/2)",
         float_format="{:.2f}",
     )
-    ref = run_workload("heat", "dram-only", nvm, fast=fast).makespan
+    ref = res[RunSpec("heat", "dram-only", nvm, fast=fast)].makespan
     for interval in (100, 1000, 10000):
-        tr = run_workload(
-            "heat",
-            "tahoe",
-            nvm,
-            fast=fast,
-            exec_overrides={"sampling_interval_cycles": interval},
-        )
-        t.add_row([interval, tr.makespan / ref, tr.overhead_fraction() * 100])
+        tr = res[
+            RunSpec(
+                "heat", "tahoe", nvm, fast=fast,
+                exec_overrides={"sampling_interval_cycles": interval},
+            )
+        ]
+        t.add_row([interval, tr.makespan / ref, tr.overhead_fraction * 100])
         result.metrics[f"interval/{interval}"] = tr.makespan / ref
-        result.metrics[f"interval/{interval}/overhead"] = tr.overhead_fraction() * 100
+        result.metrics[f"interval/{interval}/overhead"] = tr.overhead_fraction * 100
     result.tables.append(t)
 
     # ------------------------------------------------- c. solver choice
@@ -81,12 +145,11 @@ def run(fast: bool = True) -> ExperimentResult:
         title="c. Knapsack DP vs density greedy (bw-1/2 / lat-4x)",
         float_format="{:.2f}",
     )
-    nvm_lat = nvm_latency_scaled(4.0)
-    ref_r = run_workload("randomdag", "dram-only", nvm, fast=fast).makespan
-    ref_h = run_workload("health", "dram-only", nvm_lat, fast=fast).makespan
+    ref_r = res[RunSpec("randomdag", "dram-only", nvm, fast=fast)].makespan
+    ref_h = res[RunSpec("health", "dram-only", nvm_lat, fast=fast)].makespan
     for solver, polname in (("dp", "tahoe"), ("greedy", "tahoe-greedy")):
-        tr_r = run_workload("randomdag", polname, nvm, fast=fast)
-        tr_h = run_workload("health", polname, nvm_lat, fast=fast)
+        tr_r = res[RunSpec("randomdag", polname, nvm, fast=fast)]
+        tr_h = res[RunSpec("health", polname, nvm_lat, fast=fast)]
         t.add_row([solver, tr_r.makespan / ref_r, tr_h.makespan / ref_h])
         result.metrics[f"solver/{solver}/randomdag"] = tr_r.makespan / ref_r
         result.metrics[f"solver/{solver}/health"] = tr_h.makespan / ref_h
@@ -98,31 +161,25 @@ def run(fast: bool = True) -> ExperimentResult:
         title="d. Profiled instances per task type (cg, bw-1/2)",
         float_format="{:.2f}",
     )
-    ref = run_workload("cg", "dram-only", nvm, fast=fast).makespan
+    ref = res[RunSpec("cg", "dram-only", nvm, fast=fast)].makespan
     for k in (1, 2, 4):
-        pol = _variant(f"prof{k}", profile_instances=k)
-        tr = run_workload("cg", pol, nvm, fast=fast)
-        stats = tr.meta.get("manager_stats", {})
+        tr = res[_tahoe_spec("cg", nvm, fast, f"prof{k}", profile_instances=k)]
+        stats = tr.summary.get("manager_stats", {})
         t.add_row([k, tr.makespan / ref, int(stats.get("profiled_tasks", 0))])
         result.metrics[f"profile/{k}"] = tr.makespan / ref
     result.tables.append(t)
 
     # ------------------------------------------------ e. adaptation on/off
-    from repro.util.units import MIB
-
     t = Table(
         ["adaptation", "normalized time", "triggers"],
         title="e. Adaptation under a mid-run regime shift (phaseshift, bw-1/2)",
         float_format="{:.2f}",
     )
-    cap = 28 * MIB  # room for exactly one of the two tables
-    ref = run_workload("phaseshift", "dram-only", nvm, dram_capacity=cap, fast=fast).makespan
+    ref = res[RunSpec("phaseshift", "dram-only", nvm, dram_capacity=cap, fast=fast)].makespan
     for label, polname in (("on", "tahoe"), ("off", "tahoe-noadapt")):
-        tr = run_workload("phaseshift", polname, nvm, dram_capacity=cap, fast=fast)
-        stats = tr.meta.get("manager_stats", {})
-        t.add_row(
-            [label, tr.makespan / ref, int(stats.get("adaptation_triggers", 0))]
-        )
+        tr = res[RunSpec("phaseshift", polname, nvm, dram_capacity=cap, fast=fast)]
+        stats = tr.summary.get("manager_stats", {})
+        t.add_row([label, tr.makespan / ref, int(stats.get("adaptation_triggers", 0))])
         result.metrics[f"adaptation/{label}"] = tr.makespan / ref
     result.tables.append(t)
 
@@ -132,12 +189,12 @@ def run(fast: bool = True) -> ExperimentResult:
         title="f. Combined counters vs loads/stores-only (cholesky, lat-4x)",
         float_format="{:.2f}",
     )
-    ref = run_workload("cholesky", "dram-only", nvm_lat, fast=fast).makespan
+    ref = res[RunSpec("cholesky", "dram-only", nvm_lat, fast=fast)].makespan
     for label, polname in (("miss+ld/st", "tahoe"), ("ld/st only", "tahoe-rawcounters")):
-        tr = run_workload("cholesky", polname, nvm_lat, fast=fast)
-        t.add_row([label, tr.makespan / ref, tr.migration_count])
+        tr = res[RunSpec("cholesky", polname, nvm_lat, fast=fast)]
+        t.add_row([label, tr.makespan / ref, tr.migrations])
         result.metrics[f"counters/{label}"] = tr.makespan / ref
-        result.metrics[f"counters/{label}/migrations"] = float(tr.migration_count)
+        result.metrics[f"counters/{label}/migrations"] = float(tr.migrations)
     result.tables.append(t)
 
     # ------------------------------------------- g. parallel slack
@@ -146,35 +203,29 @@ def run(fast: bool = True) -> ExperimentResult:
         title="g. Additive-benefit slack discounting (mg, bw-1/2)",
         float_format="{:.2f}",
     )
-    ref = run_workload("mg", "dram-only", nvm, fast=fast).makespan
-    for label, variant in (
-        ("on", _variant("slack_on", use_parallel_slack=True)),
-        ("off", _variant("slack_off", use_parallel_slack=False)),
-    ):
-        tr = run_workload("mg", variant, nvm, fast=fast)
-        t.add_row([label, tr.makespan / ref, tr.migration_count])
+    ref = res[RunSpec("mg", "dram-only", nvm, fast=fast)].makespan
+    for label, flag in (("on", True), ("off", False)):
+        tr = res[_tahoe_spec("mg", nvm, fast, f"slack_{label}", use_parallel_slack=flag)]
+        t.add_row([label, tr.makespan / ref, tr.migrations])
         result.metrics[f"slack/{label}"] = tr.makespan / ref
     result.tables.append(t)
 
     # ------------------------------------------- h. lane backlog cap
-    from repro.memory.presets import reram
-
     t = Table(
         ["lane backlog cap", "normalized time (health on reram)", "migrations"],
         title="h. Helper-lane backlog cap (health, ReRAM: 1-8 MB/s writes)",
         float_format="{:.2f}",
     )
-    nvm_r = reram()
-    ref = run_workload("health", "dram-only", nvm_r, fast=fast).makespan
-    nv = run_workload("health", "nvm-only", nvm_r, fast=fast).makespan / ref
+    ref = res[RunSpec("health", "dram-only", nvm_r, fast=fast)].makespan
+    nv = res[RunSpec("health", "nvm-only", nvm_r, fast=fast)].makespan / ref
     t.add_row(["(nvm-only reference)", nv, 0])
     result.metrics["backlog/nvm-only"] = nv
-    for label, variant in (
-        ("0.25s (default)", _variant("cap_on", max_lane_backlog_s=0.25)),
-        ("unbounded", _variant("cap_off", max_lane_backlog_s=1e9)),
+    for label, key, backlog in (
+        ("0.25s (default)", "cap_on", 0.25),
+        ("unbounded", "cap_off", 1e9),
     ):
-        tr = run_workload("health", variant, nvm_r, fast=fast)
-        t.add_row([label, tr.makespan / ref, tr.migration_count])
+        tr = res[_tahoe_spec("health", nvm_r, fast, key, max_lane_backlog_s=backlog)]
+        t.add_row([label, tr.makespan / ref, tr.migrations])
         result.metrics[f"backlog/{label.split()[0]}"] = tr.makespan / ref
     result.tables.append(t)
 

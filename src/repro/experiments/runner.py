@@ -1,14 +1,23 @@
 """Shared machinery for the experiment suite.
 
-The central helper is :func:`run_workload`: build a workload, build a
-machine (DRAM capacity + NVM config), build a policy by name, execute,
-and return the trace summary.  DRAM-only reference runs automatically get
-a DRAM tier large enough for the full working set, as the paper's
-DRAM-only baseline does.
+The run description is a :class:`~repro.experiments.spec.RunSpec`; the
+central helper is :func:`run_workload`: build the workload, build the
+machine (DRAM capacity + NVM config), build the policy from the unified
+registry, execute, and return the trace.  DRAM-only reference runs
+automatically get a DRAM tier large enough for the full working set, as
+the paper's DRAM-only baseline does.
+
+``run_workload(spec)`` is the primary form.  The historical keyword form
+(``run_workload("heat", "tahoe", nvm, ...)``) still works as a thin shim
+that constructs a :class:`RunSpec` and emits a ``DeprecationWarning``.
+For sweeps, prefer :func:`repro.experiments.parallel.run_many`, which
+adds process fan-out and the on-disk result cache.
 """
 
 from __future__ import annotations
 
+import difflib
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
@@ -19,15 +28,23 @@ from repro.baselines import (
     NVMOnlyPolicy,
     RandomPolicy,
     SizeGreedyPolicy,
+    StaticPlacementPolicy,
     XMemPolicy,
 )
 from repro.core.manager import DataManagerPolicy, ManagerConfig
 from repro.core.partition import partition_graph
 from repro.core.placement import PlanConfig
+from repro.experiments.spec import RunSpec, RunResult
 from repro.memory.device import MemoryDevice
 from repro.memory.hms import HeterogeneousMemorySystem
 from repro.memory.presets import DEFAULT_DRAM_CAPACITY, dram as dram_preset
 from repro.tasking.executor import Executor, ExecutorConfig
+from repro.tasking.scheduler import (
+    CriticalPathPolicy,
+    FIFOPolicy,
+    MemoryAwarePolicy,
+    SchedulingPolicy,
+)
 from repro.tasking.trace import ExecutionTrace
 from repro.util.tables import Table
 from repro.util.units import MIB
@@ -36,8 +53,12 @@ from repro.workloads import build
 __all__ = [
     "ExperimentResult",
     "POLICIES",
+    "SCHEDULERS",
     "make_policy",
+    "make_scheduler",
     "workload_params",
+    "execute_spec",
+    "run_and_summarize",
     "run_workload",
     "STANDARD_WORKLOADS",
 ]
@@ -81,23 +102,41 @@ def workload_params(name: str, fast: bool) -> dict[str, Any]:
     return dict(_FAST_PARAMS.get(name, {})) if fast else {}
 
 
-def _tahoe(**overrides: Any) -> Callable[[], DataManagerPolicy]:
-    def factory() -> DataManagerPolicy:
-        opts = dict(overrides)
+# ----------------------------------------------------------------------
+# The unified policy registry
+# ----------------------------------------------------------------------
+def _tahoe(**defaults: Any) -> Callable[..., DataManagerPolicy]:
+    """Factory for a data-manager variant with preset config overrides.
+
+    The returned factory accepts further call-time overrides (merged over
+    the presets), keeping every variant reachable through
+    ``make_policy(name, **overrides)``.
+    """
+
+    def factory(**overrides: Any) -> DataManagerPolicy:
+        opts = {**defaults, **overrides}
+        name = opts.pop("name", None)
         plan_kw = {
             k: opts.pop(k)
             for k in list(opts)
             if k in PlanConfig.__dataclass_fields__
         }
-        name = opts.pop("name", None)
         cfg = ManagerConfig(plan=PlanConfig(**plan_kw), **opts)
         return DataManagerPolicy(cfg, name=name)
 
     return factory
 
 
-#: Named policy factories usable in every experiment.
-POLICIES: dict[str, Callable[[], Any]] = {
+def _static(**overrides: Any) -> StaticPlacementPolicy:
+    opts = dict(overrides)
+    uids = opts.pop("dram_uids", ())
+    return StaticPlacementPolicy(set(uids), **opts)  # dram_names passes through
+
+
+#: Named policy factories usable in every experiment.  Every factory
+#: accepts keyword overrides (most baselines take none; the data-manager
+#: entries route them into :class:`ManagerConfig`/:class:`PlanConfig`).
+POLICIES: dict[str, Callable[..., Any]] = {
     "dram-only": DRAMOnlyPolicy,
     "nvm-only": NVMOnlyPolicy,
     "xmem": XMemPolicy,
@@ -105,7 +144,8 @@ POLICIES: dict[str, Callable[[], Any]] = {
     "random": RandomPolicy,
     "size-greedy": SizeGreedyPolicy,
     "oracle-static": OracleStaticPolicy,
-    "tahoe": DataManagerPolicy,
+    "static": _static,
+    "tahoe": _tahoe(),
     "tahoe-nodrw": _tahoe(distinguish_rw=False, name="tahoe-nodrw"),
     "tahoe-rawcounters": _tahoe(use_miss_counter=False, name="tahoe-rawcounters"),
     "tahoe-greedy": _tahoe(solver="greedy", name="tahoe-greedy"),
@@ -116,59 +156,138 @@ POLICIES: dict[str, Callable[[], Any]] = {
     "tahoe-part": _tahoe(partition_max_bytes=32 * MIB, name="tahoe-part"),
 }
 
+#: Ready-task ordering policies selectable per :class:`RunSpec`.
+SCHEDULERS: dict[str, Callable[[], SchedulingPolicy]] = {
+    "fifo": FIFOPolicy,
+    "critical-path": CriticalPathPolicy,
+    "memory-aware": MemoryAwarePolicy,
+}
 
-def make_policy(name: str) -> Any:
+
+def _unknown(kind: str, name: str, known: dict[str, Any]) -> KeyError:
+    suggestions = difflib.get_close_matches(name, known, n=3, cutoff=0.4)
+    hint = f"; did you mean {' or '.join(map(repr, suggestions))}?" if suggestions else ""
+    return KeyError(f"unknown {kind} {name!r}{hint} (known: {sorted(known)})")
+
+
+def make_policy(name: str, /, **overrides: Any) -> Any:
+    """Construct any registered policy, with optional config overrides.
+
+    The registry name is positional-only so overrides may themselves carry
+    a ``name`` key (display name for throwaway variants).  Unknown names
+    raise ``KeyError`` with a did-you-mean suggestion.
+    """
     try:
-        return POLICIES[name]()
+        factory = POLICIES[name]
     except KeyError:
-        raise KeyError(f"unknown policy {name!r}; known: {sorted(POLICIES)}") from None
+        raise _unknown("policy", name, POLICIES) from None
+    return factory(**overrides)
 
 
-def run_workload(
-    workload_name: str,
-    policy_name: str,
-    nvm: MemoryDevice,
-    dram_capacity: int = DEFAULT_DRAM_CAPACITY,
-    n_workers: int = 8,
-    fast: bool = True,
-    workload_overrides: dict[str, Any] | None = None,
-    exec_overrides: dict[str, Any] | None = None,
-) -> ExecutionTrace:
-    """Build + execute one (workload, policy, machine) combination."""
-    params = workload_params(workload_name, fast)
-    if workload_overrides:
-        params.update(workload_overrides)
-    workload = build(workload_name, **params)
-    policy = make_policy(policy_name)
+def make_scheduler(name: str) -> SchedulingPolicy:
+    try:
+        factory = SCHEDULERS[name]
+    except KeyError:
+        raise _unknown("scheduler", name, SCHEDULERS) from None
+    return factory()
+
+
+# ----------------------------------------------------------------------
+# Spec execution
+# ----------------------------------------------------------------------
+def _build_machine(spec: RunSpec, total_bytes: int) -> tuple[MemoryDevice, ExecutorConfig]:
+    """The DRAM device and executor config a spec describes."""
+    if spec.policy == "dram-only":
+        dram_dev = dram_preset(max(total_bytes * 2, spec.dram_capacity))
+    else:
+        dram_dev = dram_preset(spec.dram_capacity)
+
+    cfg = ExecutorConfig(n_workers=spec.n_workers)
+    exec_kw = spec.exec_kwargs
+    if spec.seed is not None:
+        exec_kw["seed"] = int(spec.seed)
+    if exec_kw:
+        cfg = replace(cfg, **exec_kw)
+    if spec.policy == "hw-cache":
+        cfg = HWCacheMode.configure(cfg, spec.dram_capacity)
+    return dram_dev, cfg
+
+
+def execute_spec(spec: RunSpec) -> ExecutionTrace:
+    """Build + execute the run a :class:`RunSpec` describes (no cache)."""
+    trace, _ = _execute(spec)
+    return trace
+
+
+def _execute(spec: RunSpec) -> tuple[ExecutionTrace, MemoryDevice]:
+    params = workload_params(spec.workload, spec.fast)
+    params.update(spec.workload_kwargs)
+    workload = build(spec.workload, **params)
+    policy = make_policy(spec.policy, **spec.policy_kwargs)
 
     graph = workload.graph
     max_chunk = getattr(policy, "partition_max_bytes", None)
     if max_chunk:
         graph = partition_graph(graph, max_chunk)
 
-    if policy_name == "dram-only":
-        dram_dev = dram_preset(max(workload.total_bytes * 2, dram_capacity))
-    else:
-        dram_dev = dram_preset(dram_capacity)
-
-    cfg = ExecutorConfig(n_workers=n_workers)
-    if exec_overrides:
-        cfg = replace(cfg, **exec_overrides)
-    if policy_name == "hw-cache":
-        cfg = HWCacheMode.configure(cfg, dram_capacity)
-
-    hms = HeterogeneousMemorySystem(dram_dev, nvm)
-    trace = Executor(hms, cfg).run(graph, policy)
+    dram_dev, cfg = _build_machine(spec, workload.total_bytes)
+    hms = HeterogeneousMemorySystem(dram_dev, spec.nvm)
+    trace = Executor(hms, cfg, make_scheduler(spec.scheduler)).run(graph, policy)
     trace.meta.update(
-        workload=workload_name,
+        workload=spec.workload,
         policy=policy.name,
-        nvm=nvm.name,
-        dram_capacity=dram_capacity,
-        n_workers=n_workers,
+        nvm=spec.nvm.name,
+        dram_capacity=spec.dram_capacity,
+        n_workers=spec.n_workers,
+        scheduler=spec.scheduler,
     )
     if hasattr(policy, "stats"):
         trace.meta["manager_stats"] = dict(policy.stats)
-    return trace
+    return trace, dram_dev
+
+
+def run_and_summarize(spec: RunSpec) -> RunResult:
+    """Execute a spec and digest the trace into a cacheable result."""
+    trace, dram_dev = _execute(spec)
+    return RunResult.from_trace(spec, trace, dram_dev, spec.nvm)
+
+
+def run_workload(
+    workload_name: str | RunSpec,
+    policy_name: str | None = None,
+    nvm: MemoryDevice | None = None,
+    dram_capacity: int = DEFAULT_DRAM_CAPACITY,
+    n_workers: int = 8,
+    fast: bool = True,
+    workload_overrides: dict[str, Any] | None = None,
+    exec_overrides: dict[str, Any] | None = None,
+) -> ExecutionTrace:
+    """Execute one run and return its :class:`ExecutionTrace`.
+
+    Primary form: ``run_workload(spec)`` with a :class:`RunSpec`.  The
+    keyword form is deprecated; it builds the equivalent spec and runs it.
+    """
+    if isinstance(workload_name, RunSpec):
+        return execute_spec(workload_name)
+    warnings.warn(
+        "run_workload(workload, policy, nvm, ...) is deprecated; build a "
+        "RunSpec and call run_workload(spec) (or run_many for sweeps)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if policy_name is None or nvm is None:
+        raise TypeError("run_workload needs a RunSpec or (workload, policy, nvm)")
+    spec = RunSpec(
+        workload=workload_name,
+        policy=policy_name,
+        nvm=nvm,
+        dram_capacity=dram_capacity,
+        n_workers=n_workers,
+        fast=fast,
+        workload_overrides=workload_overrides or (),
+        exec_overrides=exec_overrides or (),
+    )
+    return execute_spec(spec)
 
 
 @dataclass

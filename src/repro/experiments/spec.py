@@ -1,0 +1,304 @@
+"""The unified run description: :class:`RunSpec` and :class:`RunResult`.
+
+A :class:`RunSpec` is the single way to describe one simulated run —
+workload + parameter overrides, the DRAM/NVM machine, policy + policy
+overrides, scheduler, profiler seed, and the fast/full size switch.  It
+is frozen, hashable, and picklable, so it can key dictionaries, travel
+to worker processes, and address the on-disk result cache.
+
+``cache_key()`` hashes the canonical-JSON form of the spec together with
+a code/model version salt (:data:`MODEL_VERSION` + the package version),
+so changing either the spec or the simulator's models invalidates stale
+cache entries.
+
+A :class:`RunResult` is the JSON-serializable digest of one run — the
+trace summary, migration statistics and energy accounting the experiment
+suite consumes — or, for a crashed run, a structured failure record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import traceback as traceback_mod
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.memory.device import DeviceKind, MemoryDevice
+from repro.memory.presets import DEFAULT_DRAM_CAPACITY
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tasking.trace import ExecutionTrace
+
+__all__ = [
+    "MODEL_VERSION",
+    "RunSpec",
+    "RunResult",
+    "canonical_json",
+    "device_fingerprint",
+    "version_salt",
+]
+
+#: Bump whenever the simulator's timing/placement models change in a way
+#: that alters results: every cached entry keyed under the old value
+#: becomes unreachable.  (The package ``__version__`` is mixed in too.)
+MODEL_VERSION = 1
+
+
+def version_salt() -> str:
+    """The code/model salt mixed into every cache key."""
+    import repro
+
+    return f"{repro.__version__}/m{MODEL_VERSION}"
+
+
+# ----------------------------------------------------------------------
+# Canonicalization helpers
+# ----------------------------------------------------------------------
+def _freeze(value: Any) -> Any:
+    """Recursively convert mappings/sequences into hashable tuples."""
+    if isinstance(value, Mapping):
+        return tuple((str(k), _freeze(value[k])) for k in sorted(value, key=str))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) else value
+        return tuple(_freeze(v) for v in items)
+    return value
+
+
+def _thaw(value: Any) -> Any:
+    """Inverse of :func:`_freeze` for mapping-shaped tuples."""
+    if isinstance(value, tuple):
+        if all(isinstance(v, tuple) and len(v) == 2 and isinstance(v[0], str) for v in value):
+            return {k: _thaw(v) for k, v in value}
+        return tuple(_thaw(v) for v in value)
+    return value
+
+
+def _jsonable(value: Any) -> Any:
+    """Reduce a value to JSON-representable primitives (stable fallback:
+    ``repr`` for anything exotic, so the cache key is always computable)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(value[k]) for k in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, MemoryDevice):
+        return device_fingerprint(value)
+    return repr(value)
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace drift."""
+    return json.dumps(_jsonable(obj), sort_keys=True, separators=(",", ":"))
+
+
+def device_fingerprint(device: MemoryDevice) -> dict[str, Any]:
+    """Everything about a device that can influence a run's result."""
+    return {
+        "name": device.name,
+        "kind": device.kind.value,
+        "capacity_bytes": device.capacity_bytes,
+        "read_latency_s": device.read_latency_s,
+        "write_latency_s": device.write_latency_s,
+        "read_bandwidth": device.read_bandwidth,
+        "write_bandwidth": device.write_bandwidth,
+    }
+
+
+def device_from_fingerprint(fp: Mapping[str, Any]) -> MemoryDevice:
+    """Rebuild a device from :func:`device_fingerprint` output."""
+    return MemoryDevice(
+        name=fp["name"],
+        kind=DeviceKind(fp["kind"]),
+        capacity_bytes=int(fp["capacity_bytes"]),
+        read_latency_s=fp["read_latency_s"],
+        write_latency_s=fp["write_latency_s"],
+        read_bandwidth=fp["read_bandwidth"],
+        write_bandwidth=fp["write_bandwidth"],
+    )
+
+
+# ----------------------------------------------------------------------
+# RunSpec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunSpec:
+    """Immutable description of one (workload, machine, policy) run.
+
+    Override mappings may be passed as plain dicts; they are frozen into
+    sorted tuples on construction so the spec stays hashable.  Use the
+    ``*_kwargs`` properties to read them back as dicts.
+    """
+
+    workload: str
+    policy: str
+    nvm: MemoryDevice
+    dram_capacity: int = DEFAULT_DRAM_CAPACITY
+    n_workers: int = 8
+    fast: bool = True
+    #: Profiler seed override; ``None`` keeps the executor default.
+    seed: int | None = None
+    #: Ready-task ordering policy (see ``repro.experiments.runner.SCHEDULERS``).
+    scheduler: str = "fifo"
+    workload_overrides: Any = ()
+    policy_overrides: Any = ()
+    exec_overrides: Any = ()
+
+    def __post_init__(self) -> None:
+        for name in ("workload_overrides", "policy_overrides", "exec_overrides"):
+            object.__setattr__(self, name, _freeze(getattr(self, name) or ()))
+
+    # -- dict views of the frozen overrides ----------------------------
+    @property
+    def workload_kwargs(self) -> dict[str, Any]:
+        return dict(_thaw(self.workload_overrides) or {})
+
+    @property
+    def policy_kwargs(self) -> dict[str, Any]:
+        return dict(_thaw(self.policy_overrides) or {})
+
+    @property
+    def exec_kwargs(self) -> dict[str, Any]:
+        return dict(_thaw(self.exec_overrides) or {})
+
+    def replace(self, **changes: Any) -> "RunSpec":
+        """A copy with the given fields changed (dataclasses.replace)."""
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "nvm":
+                value = device_fingerprint(value)
+            elif f.name.endswith("_overrides"):
+                value = _thaw(value) or {}
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        kwargs = dict(data)
+        kwargs["nvm"] = device_from_fingerprint(kwargs["nvm"])
+        return cls(**kwargs)
+
+    def cache_key(self) -> str:
+        """Content address of this spec under the current code version."""
+        payload = {"salt": version_salt(), "spec": self.to_dict()}
+        return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable tag for logs and progress lines."""
+        extras = []
+        if self.seed is not None:
+            extras.append(f"seed={self.seed}")
+        if self.scheduler != "fifo":
+            extras.append(self.scheduler)
+        tail = f" [{' '.join(extras)}]" if extras else ""
+        return f"{self.workload}/{self.policy}@{self.nvm.name}{tail}"
+
+
+# ----------------------------------------------------------------------
+# RunResult
+# ----------------------------------------------------------------------
+@dataclass
+class RunResult:
+    """JSON-serializable digest of one run (or a structured failure)."""
+
+    spec: RunSpec
+    ok: bool = True
+    makespan: float = 0.0
+    migrations: int = 0
+    migrated_mib: float = 0.0
+    overlap: float = 1.0
+    overhead_fraction: float = 0.0
+    #: ``ExecutionTrace.summary()`` (canonicalized through JSON so fresh,
+    #: parallel and cached results compare byte-identically).
+    summary: dict[str, Any] = field(default_factory=dict)
+    #: ``EnergyReport.summary()`` for the run's actual devices.
+    energy: dict[str, float] = field(default_factory=dict)
+    #: Failure record (``ok == False``): exception type, message, traceback.
+    error_type: str | None = None
+    error: str | None = None
+    traceback: str | None = None
+    #: True when this result came from the on-disk cache.
+    cached: bool = False
+
+    @classmethod
+    def from_trace(
+        cls,
+        spec: RunSpec,
+        trace: "ExecutionTrace",
+        dram: MemoryDevice,
+        nvm: MemoryDevice,
+    ) -> "RunResult":
+        from repro.memory.energy import EnergyReport
+
+        summary = json.loads(canonical_json(trace.summary()))
+        energy = json.loads(canonical_json(EnergyReport.from_trace(trace, dram, nvm).summary()))
+        return cls(
+            spec=spec,
+            ok=True,
+            makespan=trace.makespan,
+            migrations=trace.migration_count,
+            migrated_mib=trace.migrated_mib,
+            overlap=trace.migration_overlap(),
+            overhead_fraction=trace.overhead_fraction(),
+            summary=summary,
+            energy=energy,
+        )
+
+    @classmethod
+    def failure(cls, spec: RunSpec, exc: BaseException) -> "RunResult":
+        return cls(
+            spec=spec,
+            ok=False,
+            error_type=type(exc).__name__,
+            error=str(exc),
+            traceback="".join(
+                traceback_mod.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+        )
+
+    def raise_if_failed(self) -> "RunResult":
+        """Turn a failure record back into an exception (strict mode)."""
+        if not self.ok:
+            raise RuntimeError(
+                f"run failed for {self.spec.label()}: "
+                f"{self.error_type}: {self.error}\n{self.traceback or ''}"
+            )
+        return self
+
+    # -- cache payloads -------------------------------------------------
+    def to_payload(self) -> dict[str, Any]:
+        """The dict stored in the result cache (spec kept for debugging)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "ok": self.ok,
+            "makespan": self.makespan,
+            "migrations": self.migrations,
+            "migrated_mib": self.migrated_mib,
+            "overlap": self.overlap,
+            "overhead_fraction": self.overhead_fraction,
+            "summary": self.summary,
+            "energy": self.energy,
+        }
+
+    @classmethod
+    def from_payload(cls, spec: RunSpec, payload: Mapping[str, Any]) -> "RunResult":
+        return cls(
+            spec=spec,
+            ok=bool(payload.get("ok", True)),
+            makespan=payload.get("makespan", 0.0),
+            migrations=int(payload.get("migrations", 0)),
+            migrated_mib=payload.get("migrated_mib", 0.0),
+            overlap=payload.get("overlap", 1.0),
+            overhead_fraction=payload.get("overhead_fraction", 0.0),
+            summary=dict(payload.get("summary", {})),
+            energy=dict(payload.get("energy", {})),
+            cached=True,
+        )

@@ -3,9 +3,11 @@
 The simulator is deterministic per seed, but the *sampling profiler's*
 noise stream is part of the modelled reality: a claim like "the manager
 closes 70 % of the gap" should survive different counter-noise draws.
-:func:`seed_sweep` re-runs a configuration across profiler seeds;
-:func:`bootstrap_ci` turns the samples into a mean and a percentile
-bootstrap confidence interval.
+:func:`seed_sweep` re-runs a configuration across profiler seeds — an
+embarrassingly parallel fan-out that goes through
+:func:`~repro.experiments.parallel.run_many` (one spec per seed, so the
+runs parallelize and cache like any other); :func:`bootstrap_ci` turns
+the samples into a mean and a percentile bootstrap confidence interval.
 """
 
 from __future__ import annotations
@@ -15,6 +17,8 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.experiments.parallel import run_many
+from repro.experiments.spec import RunSpec
 from repro.memory.device import MemoryDevice
 from repro.util.rng import spawn_rng
 
@@ -53,31 +57,44 @@ def bootstrap_ci(
     return Summary(float(arr.mean()), float(lo), float(hi), int(arr.size))
 
 
+def _seed_specs(
+    workload_name: str,
+    policy_name: str,
+    nvm: MemoryDevice,
+    seeds: Sequence[int],
+    fast: bool,
+    **run_kwargs: Any,
+) -> list[RunSpec]:
+    # Historical call sites passed the seed via exec_overrides; fold any
+    # such override out so the spec's dedicated field is the one source.
+    exec_overrides = dict(run_kwargs.pop("exec_overrides", {}) or {})
+    exec_overrides.pop("seed", None)
+    return [
+        RunSpec(
+            workload_name,
+            policy_name,
+            nvm,
+            fast=fast,
+            seed=int(seed),
+            exec_overrides=exec_overrides,
+            **run_kwargs,
+        )
+        for seed in seeds
+    ]
+
+
 def seed_sweep(
     workload_name: str,
     policy_name: str,
     nvm: MemoryDevice,
     seeds: Sequence[int] = (1, 2, 3, 4, 5),
     fast: bool = True,
+    workers: int | None = None,
     **run_kwargs: Any,
 ) -> list[float]:
     """Makespans of one configuration across profiler seeds."""
-    from repro.experiments.runner import run_workload
-
-    out = []
-    for seed in seeds:
-        exec_overrides = dict(run_kwargs.pop("exec_overrides", {}) or {})
-        exec_overrides["seed"] = int(seed)
-        tr = run_workload(
-            workload_name,
-            policy_name,
-            nvm,
-            fast=fast,
-            exec_overrides=exec_overrides,
-            **run_kwargs,
-        )
-        out.append(tr.makespan)
-    return out
+    specs = _seed_specs(workload_name, policy_name, nvm, seeds, fast, **run_kwargs)
+    return [r.makespan for r in run_many(specs, workers=workers, strict=True)]
 
 
 def normalized_sweep(
@@ -86,10 +103,12 @@ def normalized_sweep(
     nvm: MemoryDevice,
     seeds: Sequence[int] = (1, 2, 3, 4, 5),
     fast: bool = True,
+    workers: int | None = None,
 ) -> Summary:
     """Bootstrap summary of policy/DRAM-only across profiler seeds."""
-    from repro.experiments.runner import run_workload
-
-    ref = run_workload(workload_name, "dram-only", nvm, fast=fast).makespan
-    values = [m / ref for m in seed_sweep(workload_name, policy_name, nvm, seeds, fast)]
+    ref_spec = RunSpec(workload_name, "dram-only", nvm, fast=fast)
+    specs = [ref_spec] + _seed_specs(workload_name, policy_name, nvm, seeds, fast)
+    results = run_many(specs, workers=workers, strict=True)
+    ref = results[0].makespan
+    values = [r.makespan / ref for r in results[1:]]
     return bootstrap_ci(values)

@@ -1,15 +1,17 @@
 """Generic parameter-sweep harness.
 
-``sweep()`` runs the cartesian product of axis values through
-:func:`~repro.experiments.runner.run_workload` and returns long-form
-records (one dict per run) plus a pivot helper — the building block for
-custom studies beyond E1–E11, e.g.::
+``sweep()`` expands the cartesian product of axis values into
+:class:`~repro.experiments.spec.RunSpec` batches, executes them through
+:func:`~repro.experiments.parallel.run_many` (parallel + cached), and
+returns long-form records (one dict per run) plus a pivot helper — the
+building block for custom studies beyond E1–E11, e.g.::
 
     recs = sweep(
         workload="heat",
         policy=["nvm-only", "tahoe"],
         nvm=[nvm_bandwidth_scaled(f) for f in (0.5, 0.25)],
         dram_capacity=[128 * MIB, 256 * MIB],
+        workers=4,
     )
     print(pivot(recs, rows="dram_capacity", cols="policy", value="makespan"))
 """
@@ -19,10 +21,12 @@ from __future__ import annotations
 import itertools
 from typing import Any, Iterable, Sequence
 
+from repro.experiments.parallel import run_many
+from repro.experiments.spec import RunSpec
 from repro.memory.device import MemoryDevice
 from repro.util.tables import Table
 
-__all__ = ["sweep", "pivot"]
+__all__ = ["sweep", "sweep_specs", "pivot"]
 
 
 def _as_list(v: Any) -> list:
@@ -31,43 +35,58 @@ def _as_list(v: Any) -> list:
     return [v]
 
 
-def sweep(
+def sweep_specs(
     workload: str | Sequence[str],
     policy: str | Sequence[str],
     nvm: MemoryDevice | Sequence[MemoryDevice],
     fast: bool = True,
     **axes: Any,
-) -> list[dict[str, Any]]:
-    """Run every combination; returns one record per run.
+) -> list[RunSpec]:
+    """The cartesian product of axis values as a list of specs.
 
-    Extra keyword axes are forwarded to ``run_workload`` (scalars or value
-    lists): ``dram_capacity``, ``n_workers``, ``workload_overrides``,
-    ``exec_overrides``.
+    Extra keyword axes map onto :class:`RunSpec` fields (scalars or value
+    lists): ``dram_capacity``, ``n_workers``, ``seed``, ``scheduler``,
+    ``workload_overrides``, ``policy_overrides``, ``exec_overrides``.
     """
-    from repro.experiments.runner import run_workload
-
     names = ["workload", "policy", "nvm"] + sorted(axes)
     value_lists = (
         [_as_list(workload), _as_list(policy), _as_list(nvm)]
         + [_as_list(axes[k]) for k in sorted(axes)]
     )
+    return [
+        RunSpec(fast=fast, **dict(zip(names, combo)))
+        for combo in itertools.product(*value_lists)
+    ]
+
+
+def sweep(
+    workload: str | Sequence[str],
+    policy: str | Sequence[str],
+    nvm: MemoryDevice | Sequence[MemoryDevice],
+    fast: bool = True,
+    workers: int | None = None,
+    cache: Any = None,
+    **axes: Any,
+) -> list[dict[str, Any]]:
+    """Run every combination; returns one record per run, in product order.
+
+    ``workers``/``cache`` forward to :func:`run_many`; the remaining
+    keyword axes are spec fields as in :func:`sweep_specs`.
+    """
+    specs = sweep_specs(workload, policy, nvm, fast=fast, **axes)
+    results = run_many(specs, workers=workers, cache=cache, strict=True)
     records: list[dict[str, Any]] = []
-    for combo in itertools.product(*value_lists):
-        kwargs = dict(zip(names, combo))
-        wl = kwargs.pop("workload")
-        pol = kwargs.pop("policy")
-        dev = kwargs.pop("nvm")
-        trace = run_workload(wl, pol, dev, fast=fast, **kwargs)
+    for spec, r in zip(specs, results):
         rec: dict[str, Any] = {
-            "workload": wl,
-            "policy": pol,
-            "nvm": dev.name,
-            **{k: _label(v) for k, v in kwargs.items()},
-            "makespan": trace.makespan,
-            "migrations": trace.migration_count,
-            "migrated_mib": trace.migrated_mib,
-            "overlap": trace.migration_overlap(),
-            "overhead_fraction": trace.overhead_fraction(),
+            "workload": spec.workload,
+            "policy": spec.policy,
+            "nvm": spec.nvm.name,
+            **{k: _label(getattr(spec, k)) for k in sorted(axes)},
+            "makespan": r.makespan,
+            "migrations": r.migrations,
+            "migrated_mib": r.migrated_mib,
+            "overlap": r.overlap,
+            "overhead_fraction": r.overhead_fraction,
         }
         records.append(rec)
     return records
@@ -76,6 +95,8 @@ def sweep(
 def _label(v: Any) -> Any:
     if isinstance(v, dict):
         return ",".join(f"{k}={val}" for k, val in sorted(v.items()))
+    if isinstance(v, tuple):  # frozen override mapping on the spec
+        return ",".join(f"{k}={val}" for k, val in v)
     return v
 
 

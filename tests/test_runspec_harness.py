@@ -1,0 +1,253 @@
+"""The RunSpec harness: spec identity, the parallel runner, the result
+cache, the policy registry, and the run_workload deprecation shim."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.manager import DataManagerPolicy
+from repro.experiments import parallel as parallel_mod
+from repro.experiments import spec as spec_mod
+from repro.experiments.cache import ResultCache, get_cache, set_cache_enabled
+from repro.experiments.parallel import run_many, run_spec
+from repro.experiments.runner import (
+    execute_spec,
+    make_policy,
+    make_scheduler,
+    run_workload,
+)
+from repro.experiments.spec import RunSpec, canonical_json
+from repro.memory.presets import nvm_bandwidth_scaled
+
+NVM = nvm_bandwidth_scaled(0.5)
+
+#: Tiny-but-real runs: same DAG shape as the fast preset, fewer steps.
+TINY = {"grid": 4, "iterations": 2}
+
+
+def tiny_spec(policy="tahoe", **changes) -> RunSpec:
+    base = dict(
+        workload="heat",
+        policy=policy,
+        nvm=NVM,
+        fast=True,
+        workload_overrides=TINY,
+    )
+    base.update(changes)
+    return RunSpec(**base)
+
+
+class TestRunSpecIdentity:
+    def test_hashable_and_dict_overrides_normalize(self):
+        a = tiny_spec(workload_overrides={"iterations": 2, "grid": 4})
+        b = tiny_spec(workload_overrides={"grid": 4, "iterations": 2})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.cache_key() == b.cache_key()
+        assert {a: 1}[b] == 1
+
+    def test_kwargs_views_round_trip(self):
+        s = tiny_spec(policy_overrides={"solver": "greedy"})
+        assert s.workload_kwargs == TINY
+        assert s.policy_kwargs == {"solver": "greedy"}
+
+    def test_pickle_round_trip(self):
+        s = tiny_spec(seed=7, scheduler="critical-path")
+        clone = pickle.loads(pickle.dumps(s))
+        assert clone == s
+        assert clone.cache_key() == s.cache_key()
+
+    def test_to_dict_round_trip(self):
+        s = tiny_spec(exec_overrides={"sampling_interval_cycles": 512})
+        clone = RunSpec.from_dict(s.to_dict())
+        assert clone == s
+        assert clone.cache_key() == s.cache_key()
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"policy": "nvm-only"},
+            {"seed": 3},
+            {"dram_capacity": 64 * 2**20},
+            {"scheduler": "memory-aware"},
+            {"workload_overrides": {"grid": 4, "iterations": 3}},
+            {"policy_overrides": {"solver": "greedy"}},
+            {"fast": False},
+        ],
+    )
+    def test_any_field_change_changes_cache_key(self, changes):
+        assert tiny_spec().cache_key() != tiny_spec().replace(**changes).cache_key()
+
+    def test_model_version_salt_invalidates(self, monkeypatch):
+        before = tiny_spec().cache_key()
+        monkeypatch.setattr(spec_mod, "MODEL_VERSION", spec_mod.MODEL_VERSION + 1)
+        assert tiny_spec().cache_key() != before
+
+
+class TestPolicyRegistry:
+    def test_did_you_mean(self):
+        with pytest.raises(KeyError, match="tahoe"):
+            make_policy("taho")
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(KeyError, match="fifo"):
+            make_scheduler("fifp")
+
+    def test_overrides_reach_the_config(self):
+        pol = make_policy("tahoe", solver="greedy", name="tahoe-x")
+        assert isinstance(pol, DataManagerPolicy)
+        assert pol.name == "tahoe-x"
+
+    def test_name_override_does_not_collide(self):
+        # `name` inside overrides is a display name, not the registry key.
+        pol = make_policy("static", dram_names=("a0",), name="only-a0")
+        assert pol.name == "only-a0"
+        assert pol.dram_names == frozenset({"a0"})
+
+
+class TestRunManyDeterminism:
+    @pytest.fixture()
+    def specs(self):
+        return [tiny_spec("tahoe"), tiny_spec("nvm-only"), tiny_spec("xmem")]
+
+    def test_serial_parallel_and_cached_agree(self, specs, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        serial = run_many(specs, workers=1, cache=cache, strict=True)
+        fanned = run_many(specs, workers=4, cache=False, strict=True)
+        cached = run_many(specs, workers=1, cache=cache, strict=True)
+
+        assert all(not r.cached for r in serial + fanned)
+        assert all(r.cached for r in cached)
+        for a, b, c in zip(serial, fanned, cached):
+            assert canonical_json(a.summary) == canonical_json(b.summary)
+            assert canonical_json(a.summary) == canonical_json(c.summary)
+            assert a.makespan == b.makespan == c.makespan
+            assert canonical_json(a.energy) == canonical_json(c.energy)
+
+    def test_duplicates_execute_once_and_keep_order(self, specs, tmp_path):
+        calls = []
+        batch = [specs[0], specs[1], specs[0]]
+        out = run_many(
+            batch,
+            workers=1,
+            cache=ResultCache(tmp_path / "cache"),
+            progress=lambda done, total, r: calls.append((done, total)),
+            strict=True,
+        )
+        assert [r.spec for r in out] == batch
+        assert out[0].makespan == out[2].makespan
+        assert calls[-1] == (3, 3)
+        assert len(calls) == 3
+
+
+class TestResultCache:
+    def test_hit_returns_without_executing(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        spec = tiny_spec()
+        cold = run_many([spec], workers=1, cache=cache, strict=True)[0]
+        assert cache.puts == 1
+
+        def boom(_spec):
+            raise AssertionError("cache hit must not re-execute")
+
+        monkeypatch.setattr(parallel_mod, "run_and_summarize", boom)
+        warm = run_many([spec], workers=1, cache=cache, strict=True)[0]
+        assert warm.cached
+        assert warm.makespan == cold.makespan
+        assert cache.hits == 1
+
+    def test_salt_bump_misses(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        spec = tiny_spec()
+        run_many([spec], workers=1, cache=cache, strict=True)
+        monkeypatch.setattr(spec_mod, "MODEL_VERSION", spec_mod.MODEL_VERSION + 1)
+        again = run_many([spec], workers=1, cache=cache, strict=True)[0]
+        assert not again.cached
+        assert cache.puts == 2
+
+    def test_spec_change_misses(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_many([tiny_spec()], workers=1, cache=cache, strict=True)
+        other = run_many([tiny_spec(seed=11)], workers=1, cache=cache, strict=True)[0]
+        assert not other.cached
+
+    def test_invalidate_and_stats(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = tiny_spec()
+        run_many([spec], workers=1, cache=cache, strict=True)
+        assert cache.entries() == 1
+        assert cache.size_bytes() > 0
+        assert cache.invalidate(spec.cache_key()) == 1
+        assert cache.get(spec.cache_key()) is None
+        s = cache.stats()
+        assert (s["hits"], s["puts"], s["entries"]) == (0, 1, 0)
+        assert "misses" in cache.describe()
+
+    def test_disable_switch(self, monkeypatch):
+        set_cache_enabled(False)
+        try:
+            assert get_cache() is None
+        finally:
+            set_cache_enabled(True)
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert get_cache() is None
+
+    def test_cache_bypass_false(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = tiny_spec()
+        run_many([spec], workers=1, cache=cache, strict=True)
+        fresh = run_spec(spec, cache=False)
+        assert not fresh.cached
+
+
+class TestFailureContainment:
+    BAD = tiny_spec(workload_overrides={"no_such_parameter": 1})
+
+    def test_failure_record_and_siblings_complete(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        good = tiny_spec()
+        out = run_many([self.BAD, good], workers=1, cache=cache)
+        assert not out[0].ok
+        assert out[0].error_type == "TypeError"
+        assert "no_such_parameter" in (out[0].traceback or "")
+        assert out[1].ok and out[1].makespan > 0
+        # failures are never cached
+        assert cache.get(self.BAD.cache_key()) is None
+
+    def test_worker_crash_contained_across_processes(self):
+        out = run_many([self.BAD, tiny_spec()], workers=2, cache=False)
+        assert not out[0].ok
+        assert out[1].ok
+
+    def test_strict_raises(self):
+        with pytest.raises(RuntimeError, match="heat/tahoe"):
+            run_many([self.BAD], workers=1, cache=False, strict=True)
+
+
+class TestRunWorkloadShim:
+    def test_spec_form_is_primary_and_warning_free(self, recwarn):
+        tr = run_workload(tiny_spec())
+        assert tr.makespan > 0
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+    def test_kwargs_form_warns_and_matches(self):
+        spec = tiny_spec()
+        with pytest.warns(DeprecationWarning, match="RunSpec"):
+            legacy = run_workload(
+                "heat", "tahoe", NVM, fast=True, workload_overrides=TINY
+            )
+        assert legacy.makespan == execute_spec(spec).makespan
+
+    def test_kwargs_form_requires_policy_and_nvm(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                run_workload("heat")
+
+    def test_top_level_exports(self):
+        import repro
+
+        assert repro.RunSpec is RunSpec
+        assert repro.run_many is run_many
+        assert callable(repro.make_policy)
