@@ -20,6 +20,7 @@ Packages:
 - :mod:`repro.core` — the data manager (the paper's contribution)
 - :mod:`repro.baselines` — DRAM/NVM-only, X-Mem, Memory-Mode, static policies
 - :mod:`repro.workloads` — task-parallel benchmark generators
+- :mod:`repro.faults` — fault injection + degraded-mode resilience
 - :mod:`repro.experiments` — per-figure/table regeneration harness
 """
 
@@ -51,17 +52,30 @@ _EXPERIMENT_EXPORTS = (
     "make_policy",
 )
 
+#: Fault-injection surface, likewise lazy (see :mod:`repro.faults`).
+_FAULT_EXPORTS = (
+    "FaultPlan",
+    "FaultInjector",
+    "resolve_plan",
+    "stress_plan",
+)
+
 
 def __getattr__(name: str):
     if name in _EXPERIMENT_EXPORTS:
         from repro import experiments
 
         return getattr(experiments, name)
+    if name in _FAULT_EXPORTS:
+        from repro import faults
+
+        return getattr(faults, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
     *_EXPERIMENT_EXPORTS,
+    *_FAULT_EXPORTS,
     "TaskRuntime",
     "AccessMode",
     "ObjectAccess",

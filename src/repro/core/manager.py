@@ -144,6 +144,11 @@ class DataManagerPolicy(BasePolicy):
             "migrations_requested": 0,
             "adaptation_triggers": 0,
         }
+        # Resilience counters exist only under fault injection so that
+        # fault-free runs keep byte-identical summaries.
+        if ctx.engine.injector is not None:
+            self.stats["migrations_failed"] = 0
+            self.stats["migrations_recovered"] = 0
         self.calib = self._given_calibration or self._platform_calibration(ctx)
         if self.config.enable_initial_placement:
             chosen = initial_placement(ctx.graph.objects, ctx.dram.capacity_bytes)
@@ -502,14 +507,17 @@ class DataManagerPolicy(BasePolicy):
             if stall_est > in_weight + cfg.plan.cost_margin * ct:
                 continue  # the copy would cost more than it saves
             for v in planned_victims:
-                ctx.request_migration(v, ctx.nvm, now)
+                rec_v = ctx.request_migration(v, ctx.nvm, now)
+                self._note_outcome(rec_v)
                 self._move_counts[v.uid] = self._move_counts.get(v.uid, 0) + 1
                 self.stats["migrations_requested"] += 1
                 overhead += cfg.per_migration_request_overhead_s
             victims = [v for v in victims if v not in planned_victims]
             if not ctx.hms.dram_fits(obj.size_bytes):
-                continue  # fragmentation: give up on this object
-            ctx.request_migration(obj, ctx.dram, now)
+                continue  # fragmentation (or a failed eviction copy kept a
+                # victim resident): give up on this object
+            rec = ctx.request_migration(obj, ctx.dram, now)
+            self._note_outcome(rec)
             log.debug("promote uid=%d (%d B) victims=%d", obj.uid, obj.size_bytes,
                       len(planned_victims))
             self._move_counts[obj.uid] = self._move_counts.get(obj.uid, 0) + 1
@@ -517,6 +525,24 @@ class DataManagerPolicy(BasePolicy):
             overhead += cfg.per_migration_request_overhead_s
             backlog += evict_time + ct
         return overhead
+
+    def _note_outcome(self, rec) -> None:
+        """Resilience bookkeeping for one migration request.
+
+        A permanently failed copy rolled the placement back (the object
+        stays serviceable from its source tier — graceful degradation);
+        the move-count increment in the caller still stands, so an object
+        whose migrations keep failing is eventually pinned by the
+        ping-pong breaker instead of being retried forever.
+        """
+        if rec is None or rec.attempts <= 1:
+            return
+        if rec.failed:
+            self.stats["migrations_failed"] = self.stats.get("migrations_failed", 0) + 1
+        else:
+            self.stats["migrations_recovered"] = (
+                self.stats.get("migrations_recovered", 0) + 1
+            )
 
     # ------------------------------------------------------------------
     def _platform_calibration(self, ctx: ExecContext) -> CalibrationResult:

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import Any
 
@@ -71,6 +72,43 @@ class ResultCache:
         finally:
             tmp.unlink(missing_ok=True)
         self.puts += 1
+
+    def prune(
+        self,
+        max_entries: int | None = None,
+        max_age_s: float | None = None,
+    ) -> int:
+        """Evict stale entries; returns the number of files removed.
+
+        ``max_age_s`` drops entries whose file mtime is older than that
+        many seconds; ``max_entries`` then keeps only the most recently
+        touched N entries (LRU by mtime).  Entries that vanish mid-scan
+        (concurrent prune or invalidate) are skipped silently.
+        """
+        stamped: list[tuple[float, Path]] = []
+        for entry in self.path.glob("*.json"):
+            try:
+                stamped.append((entry.stat().st_mtime, entry))
+            except OSError:
+                continue
+        stamped.sort(reverse=True)  # newest first
+
+        doomed: list[Path] = []
+        if max_age_s is not None:
+            cutoff = time.time() - max_age_s
+            while stamped and stamped[-1][0] < cutoff:
+                doomed.append(stamped.pop()[1])
+        if max_entries is not None and len(stamped) > max_entries:
+            doomed.extend(e for _, e in stamped[max_entries:])
+
+        removed = 0
+        for entry in doomed:
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
 
     def invalidate(self, key: str | None = None) -> int:
         """Drop one entry (or every entry when ``key`` is ``None``);

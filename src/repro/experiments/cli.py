@@ -8,6 +8,13 @@ Usage::
     repro-experiments e3 --workers 4     # fan runs out over 4 processes
     repro-experiments e3 --no-cache      # force re-simulation
     repro-experiments e3 --cache-stats   # report hit/miss counts at the end
+    repro-experiments --cache-prune entries=500,age=30d   # evict stale entries
+
+The ``trace`` verb executes a single described run and exports its
+timeline instead of an experiment table::
+
+    repro-experiments trace heat --policy tahoe --nvm bw-1/8 --gantt
+    repro-experiments trace cg --faults moderate --chrome out.json
 """
 
 from __future__ import annotations
@@ -22,15 +29,142 @@ from repro.experiments.registry import EXPERIMENTS, get_experiment
 
 __all__ = ["main"]
 
+_AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def _parse_prune_spec(spec: str) -> tuple[int | None, float | None]:
+    """Parse ``--cache-prune`` specs like ``entries=500``, ``age=30d`` or
+    ``entries=500,age=12h`` (bare numbers mean entries)."""
+    max_entries: int | None = None
+    max_age_s: float | None = None
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        if not value:
+            key, value = "entries", key
+        key, value = key.strip(), value.strip()
+        if key in ("entries", "max_entries"):
+            max_entries = int(value)
+        elif key in ("age", "max_age"):
+            unit = 1.0
+            if value and value[-1].lower() in _AGE_UNITS:
+                unit = _AGE_UNITS[value[-1].lower()]
+                value = value[:-1]
+            max_age_s = float(value) * unit
+        else:
+            raise ValueError(
+                f"bad --cache-prune component {part!r} "
+                "(use entries=N and/or age=<N[s|m|h|d]>)"
+            )
+    return max_entries, max_age_s
+
+
+def _trace_main(argv: list[str]) -> int:
+    """The ``trace`` verb: run one spec, export Chrome JSON / ASCII gantt."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments trace",
+        description="Execute one described run and export its timeline.",
+    )
+    parser.add_argument("workload", help="workload name (see repro.workloads)")
+    parser.add_argument("--policy", default="tahoe", help="policy name (default: tahoe)")
+    parser.add_argument(
+        "--nvm", default="bw-1/8", metavar="CONFIG",
+        help="NVM configuration name (default: bw-1/8)",
+    )
+    parser.add_argument(
+        "--dram-mib", type=float, default=None, metavar="MIB",
+        help="DRAM capacity in MiB (default: the suite default)",
+    )
+    parser.add_argument("--workers", type=int, default=8, help="simulated workers")
+    parser.add_argument("--seed", type=int, default=None, help="profiler seed override")
+    parser.add_argument("--scheduler", default="fifo", help="ready-task ordering policy")
+    parser.add_argument(
+        "--full", action="store_true", help="use full problem sizes"
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="PRESET|JSON|@FILE",
+        help="fault plan: a preset name, inline JSON, or @file.json",
+    )
+    parser.add_argument(
+        "--chrome", metavar="PATH",
+        help="write a Chrome Trace Event JSON file (chrome://tracing, Perfetto)",
+    )
+    parser.add_argument(
+        "--gantt", action="store_true",
+        help="print an ASCII gantt (default when --chrome is not given)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments.runner import execute_spec
+    from repro.experiments.spec import RunSpec
+    from repro.memory.presets import DEFAULT_DRAM_CAPACITY, NVM_CONFIGS
+    from repro.tasking.tracefmt import ascii_gantt, to_chrome_trace
+    from repro.util.units import MIB
+
+    configs = NVM_CONFIGS()
+    if args.nvm not in configs:
+        print(
+            f"unknown NVM config {args.nvm!r} (known: {sorted(configs)})",
+            file=sys.stderr,
+        )
+        return 2
+    dram_capacity = (
+        int(args.dram_mib * MIB) if args.dram_mib is not None else DEFAULT_DRAM_CAPACITY
+    )
+    try:
+        spec = RunSpec(
+            workload=args.workload,
+            policy=args.policy,
+            nvm=configs[args.nvm],
+            dram_capacity=dram_capacity,
+            n_workers=args.workers,
+            fast=not args.full,
+            seed=args.seed,
+            scheduler=args.scheduler,
+            faults=args.faults,
+        )
+        trace = execute_spec(spec)
+    except (KeyError, ValueError, OSError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    print(
+        f"{spec.label()}: makespan {trace.makespan * 1e3:.3f} ms, "
+        f"{len(trace.records)} tasks, {trace.migration_count} migrations "
+        f"({trace.migrated_mib:.1f} MiB)"
+    )
+    if trace.faults is not None:
+        f = trace.faults
+        print(
+            f"faults: {f['injected_copy_failures']} injected, "
+            f"{f['copy_retries']} retries, {f['recovered_copies']} recovered, "
+            f"{f['failed_migrations']} failed migrations, "
+            f"{f['emergency_evictions']} emergency evictions, "
+            f"degraded {f['degraded_time_s'] * 1e3:.3f} ms"
+        )
+    if args.chrome:
+        from pathlib import Path
+
+        Path(args.chrome).write_text(to_chrome_trace(trace), encoding="utf-8")
+        print(f"wrote Chrome trace to {args.chrome}")
+    if args.gantt or not args.chrome:
+        print(ascii_gantt(trace))
+    return 0
+
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures on the simulator.",
     )
     parser.add_argument(
         "experiments",
-        nargs="+",
+        nargs="*",
         help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
     )
     parser.add_argument(
@@ -55,12 +189,38 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print result-cache hit/miss statistics after the run",
     )
+    parser.add_argument(
+        "--cache-prune",
+        metavar="SPEC",
+        help="evict stale cache entries first: entries=N and/or age=N[s|m|h|d] "
+        "(comma-separated, e.g. entries=500,age=30d)",
+    )
     args = parser.parse_args(argv)
 
     if args.workers is not None:
         set_default_workers(args.workers)
     if args.no_cache:
         set_cache_enabled(False)
+
+    if args.cache_prune:
+        try:
+            max_entries, max_age_s = _parse_prune_spec(args.cache_prune)
+        except ValueError as exc:
+            parser.error(str(exc))
+        cache = get_cache()
+        if cache is None:
+            print("cache disabled; nothing to prune")
+        else:
+            removed = cache.prune(max_entries=max_entries, max_age_s=max_age_s)
+            print(f"pruned {removed} cache entries ({cache.entries()} remain)")
+
+    if not args.experiments:
+        if args.cache_prune or args.cache_stats:
+            if args.cache_stats:
+                cache = get_cache()
+                print(cache.describe() if cache is not None else "cache disabled")
+            return 0
+        parser.error("no experiments given (and no --cache-prune to run)")
 
     keys = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
     rc = 0

@@ -1,0 +1,118 @@
+"""E12 — Resilience under injected faults (degraded-mode study).
+
+Sweep :func:`repro.faults.plan.stress_plan` intensity through
+0 / 0.25 / 0.5 / 1.0 on the bandwidth-limited NVM and measure the data
+manager and the NVM-only baseline under the same fault plan: seeded
+migration-copy failures (probability ``0.5 * intensity``) plus a
+whole-run NVM brown-out (bandwidth scaled by ``1 - 0.5 * intensity``,
+latency by ``1 + intensity``).
+
+Expected shape: every run completes — faults degrade, never crash.
+Slowdown grows monotonically with intensity for both policies (graceful
+degradation).  The data manager keeps beating NVM-only at every
+intensity, and its margin *widens* with intensity: DRAM-resident hot
+objects dodge the NVM brown-out that NVM-only pays on every access,
+which outweighs the retry/backoff cost of failed copies.  The fault
+accounting shows retries recovering most injected failures, with
+permanent failures handled by rollback (the object stays serviceable
+from its source tier).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.parallel import run_many
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.spec import RunSpec
+from repro.faults.plan import stress_plan
+from repro.memory.presets import nvm_bandwidth_scaled
+from repro.util.tables import Table
+
+EXPERIMENT = "E12"
+TITLE = "Resilience under injected faults"
+
+INTENSITIES = (0.0, 0.25, 0.5, 1.0)
+WORKLOADS = ("cg", "heat", "lu", "health")
+POLICIES = ("tahoe", "nvm-only")
+
+
+def run(
+    fast: bool = True,
+    workloads: tuple[str, ...] = WORKLOADS,
+    workers: int | None = None,
+) -> ExperimentResult:
+    result = ExperimentResult(EXPERIMENT, TITLE)
+    nvm = nvm_bandwidth_scaled(0.5)
+
+    specs: dict[tuple[str, str, float], RunSpec] = {}
+    for name in workloads:
+        for policy in POLICIES:
+            for i in INTENSITIES:
+                specs[(name, policy, i)] = RunSpec(
+                    name, policy, nvm, fast=fast, faults=stress_plan(i)
+                )
+    res = {r.spec: r for r in run_many(list(specs.values()), workers=workers, strict=True)}
+
+    def makespan(name: str, policy: str, i: float) -> float:
+        return res[specs[(name, policy, i)]].makespan
+
+    slow = Table(
+        ["workload", "policy"] + [f"i={i:g}" for i in INTENSITIES],
+        title="Slowdown vs fault intensity (normalized to the policy's fault-free run)",
+        float_format="{:.2f}",
+    )
+    for name in workloads:
+        for policy in POLICIES:
+            ref = makespan(name, policy, 0.0)
+            row: list = [name, policy]
+            for i in INTENSITIES:
+                s = makespan(name, policy, i) / ref
+                row.append(s)
+                result.metrics[f"{name}/{policy}/i{i:g}"] = s
+            slow.add_row(row)
+
+    vs = Table(
+        ["workload"] + [f"i={i:g}" for i in INTENSITIES],
+        title="Data manager vs NVM-only at equal intensity (time ratio, <1 = manager wins)",
+        float_format="{:.2f}",
+    )
+    for name in workloads:
+        row = [name]
+        for i in INTENSITIES:
+            ratio = makespan(name, "tahoe", i) / makespan(name, "nvm-only", i)
+            row.append(ratio)
+            result.metrics[f"{name}/vs-nvm/i{i:g}"] = ratio
+        vs.add_row(row)
+
+    acct = Table(
+        ["workload", "injected", "retries", "recovered", "perm. failed", "degraded ms"],
+        title=f"Fault accounting, data manager at intensity {INTENSITIES[-1]:g}",
+        float_format="{:.1f}",
+    )
+    for name in workloads:
+        f = res[specs[(name, "tahoe", INTENSITIES[-1])]].summary.get("faults", {})
+        acct.add_row(
+            [
+                name,
+                int(f.get("injected_copy_failures", 0)),
+                int(f.get("copy_retries", 0)),
+                int(f.get("recovered_copies", 0)),
+                int(f.get("failed_migrations", 0)),
+                f.get("degraded_time_s", 0.0) * 1e3,
+            ]
+        )
+
+    result.tables = [slow, vs, acct]
+    result.notes = (
+        "Expected: monotone slowdown with intensity for both policies (graceful\n"
+        "degradation, no crashes); the data manager beats NVM-only at every\n"
+        "intensity and its margin widens as the NVM brown-out deepens."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run(fast=False).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -8,6 +8,7 @@ from repro.experiments import (
     e1_gap,
     e10_energy_oracle,
     e11_scheduler,
+    e12_resilience,
     e2_object_sensitivity,
     e3_headtohead,
     e4_breakdown,
@@ -34,6 +35,7 @@ EXPERIMENTS: dict[str, ModuleType] = {
         e9_ablations,
         e10_energy_oracle,
         e11_scheduler,
+        e12_resilience,
     )
 }
 

@@ -232,7 +232,14 @@ def _execute(spec: RunSpec) -> tuple[ExecutionTrace, MemoryDevice]:
 
     dram_dev, cfg = _build_machine(spec, workload.total_bytes)
     hms = HeterogeneousMemorySystem(dram_dev, spec.nvm)
-    trace = Executor(hms, cfg, make_scheduler(spec.scheduler)).run(graph, policy)
+    injector = None
+    if spec.faults is not None:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector.for_hms(spec.faults, hms)
+    trace = Executor(hms, cfg, make_scheduler(spec.scheduler), injector=injector).run(
+        graph, policy
+    )
     trace.meta.update(
         workload=spec.workload,
         policy=policy.name,

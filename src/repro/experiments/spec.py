@@ -24,6 +24,7 @@ import traceback as traceback_mod
 from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING, Any, Mapping
 
+from repro.faults.plan import resolve_plan
 from repro.memory.device import DeviceKind, MemoryDevice
 from repro.memory.presets import DEFAULT_DRAM_CAPACITY
 
@@ -144,10 +145,17 @@ class RunSpec:
     workload_overrides: Any = ()
     policy_overrides: Any = ()
     exec_overrides: Any = ()
+    #: Fault plan for the run: a :class:`~repro.faults.plan.FaultPlan`, a
+    #: preset name, a JSON string/mapping, or ``None`` (no faults).
+    #: Normalized through :func:`~repro.faults.plan.resolve_plan`, so an
+    #: empty plan becomes ``None`` and the spec — including its cache key
+    #: — is indistinguishable from one that never mentioned faults.
+    faults: Any = None
 
     def __post_init__(self) -> None:
         for name in ("workload_overrides", "policy_overrides", "exec_overrides"):
             object.__setattr__(self, name, _freeze(getattr(self, name) or ()))
+        object.__setattr__(self, "faults", resolve_plan(self.faults))
 
     # -- dict views of the frozen overrides ----------------------------
     @property
@@ -177,6 +185,12 @@ class RunSpec:
                 value = device_fingerprint(value)
             elif f.name.endswith("_overrides"):
                 value = _thaw(value) or {}
+            elif f.name == "faults":
+                # Omitted entirely when None so fault-free specs keep the
+                # exact cache keys they had before the subsystem existed.
+                if value is None:
+                    continue
+                value = value.to_dict()
             out[f.name] = value
         return out
 
@@ -198,6 +212,8 @@ class RunSpec:
             extras.append(f"seed={self.seed}")
         if self.scheduler != "fifo":
             extras.append(self.scheduler)
+        if self.faults is not None:
+            extras.append(self.faults.label())
         tail = f" [{' '.join(extras)}]" if extras else ""
         return f"{self.workload}/{self.policy}@{self.nvm.name}{tail}"
 

@@ -1,0 +1,38 @@
+"""Fault injection and resilience (:mod:`repro.faults`).
+
+The subsystem splits specification from mechanism:
+
+- :mod:`repro.faults.plan` — :class:`FaultPlan`, a frozen, seeded,
+  JSON-round-trippable description of injectable events (copy failures,
+  degraded windows, capacity losses), plus named presets.
+- :mod:`repro.faults.injector` — :class:`FaultInjector`, the runtime
+  realization of one plan via explicit hook points in the migration
+  engine and the executor, with every injection recorded.
+
+The resilience *responses* live where the behaviour belongs: bounded
+retry-with-backoff in :mod:`repro.memory.migration`, graceful promotion
+failure in :mod:`repro.core.manager`, emergency eviction in
+:mod:`repro.memory.hms`.  See ``docs/faults.md`` for the model and the
+guarantees.
+"""
+
+from repro.faults.injector import FaultInjector, InjectionEvent
+from repro.faults.plan import (
+    PRESETS,
+    CapacityLoss,
+    DegradedWindow,
+    FaultPlan,
+    resolve_plan,
+    stress_plan,
+)
+
+__all__ = [
+    "FaultPlan",
+    "DegradedWindow",
+    "CapacityLoss",
+    "FaultInjector",
+    "InjectionEvent",
+    "PRESETS",
+    "resolve_plan",
+    "stress_plan",
+]

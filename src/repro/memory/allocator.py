@@ -13,7 +13,7 @@ from __future__ import annotations
 from bisect import insort
 from dataclasses import dataclass
 
-from repro.util.validation import require_positive
+from repro.util.validation import require_nonnegative, require_positive
 
 __all__ = ["FreeListAllocator", "OutOfMemoryError", "Extent"]
 
@@ -93,6 +93,27 @@ class FreeListAllocator:
             else:
                 merged.append([off, size])
         self._free = merged
+
+    def reduce_capacity(self, nbytes: int) -> int:
+        """Permanently remove up to ``nbytes`` of *free* space (capacity
+        loss: a failed rank, reservation pressure).
+
+        Space is carved from the highest-addressed free extents first.
+        Returns the bytes actually removed — at most the current free
+        space; the caller must evict allocations and call again to cover
+        any shortfall.  Existing allocations are never touched.
+        """
+        require_nonnegative(nbytes, "nbytes")
+        removed = 0
+        for entry in reversed(self._free):
+            if removed >= nbytes:
+                break
+            take = min(entry[1], nbytes - removed)
+            entry[1] -= take
+            removed += take
+        self._free = [e for e in self._free if e[1] > 0]
+        self.capacity -= removed
+        return removed
 
     # ------------------------------------------------------------------
     # Introspection

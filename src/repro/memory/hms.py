@@ -157,6 +157,39 @@ class HeterogeneousMemorySystem:
         for obj in objs:
             self.move(obj, device)
 
+    def lose_capacity(
+        self, device: MemoryDevice | str, nbytes: int
+    ) -> tuple[int, list[tuple[Placeable, bool]]]:
+        """Permanently shrink ``device`` by up to ``nbytes`` (fault event).
+
+        Free space goes first; when that is not enough on the DRAM tier,
+        residents are *emergency-evicted* to the NVM backing tier (largest
+        first, so the fewest objects move) until the loss is covered.
+        Returns ``(bytes_actually_lost, evicted)`` where each evicted
+        entry is ``(object, was_dirty)`` — dirty evictees diverged from
+        their NVM shadow, so the caller owes a write-back copy for them.
+
+        The NVM backing tier never evicts (there is nowhere further down
+        to go): its loss is clamped to its free space.
+        """
+        name = self._device_name(device)
+        alloc = self._allocators[name]
+        target = max(0, int(nbytes))
+        removed = alloc.reduce_capacity(target)
+        evicted: list[tuple[Placeable, bool]] = []
+        if name == self.dram.name and removed < target:
+            residents = sorted(
+                self.objects_in_dram(), key=lambda o: (-o.size_bytes, o.uid)
+            )
+            for obj in residents:
+                if removed >= target:
+                    break
+                was_dirty = self.is_dirty(obj)
+                self.move(obj, self.nvm)
+                evicted.append((obj, was_dirty))
+                removed += alloc.reduce_capacity(target - removed)
+        return removed, evicted
+
     # ------------------------------------------------------------------
     def _device_name(self, device: MemoryDevice | str) -> str:
         name = device.name if isinstance(device, MemoryDevice) else device

@@ -11,11 +11,15 @@ on the critical path).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.memory.device import MemoryDevice
 from repro.util.units import US
 from repro.util.validation import require_nonnegative
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 __all__ = ["copy_time", "MigrationRecord", "MigrationEngine"]
 
@@ -23,6 +27,15 @@ __all__ = ["copy_time", "MigrationRecord", "MigrationEngine"]
 #: update).  Small but non-zero so migrating thousands of tiny chunks is
 #: correctly penalized — this is what makes naive partitioning lose.
 DEFAULT_MIGRATION_OVERHEAD_S: float = 20.0 * US
+
+#: Bounded retry-with-backoff for injected copy failures: up to this many
+#: retries after the initial attempt, with exponentially growing virtual
+#: backoff, before the migration is abandoned (graceful degradation).
+DEFAULT_MAX_COPY_RETRIES: int = 3
+DEFAULT_RETRY_BACKOFF_S: float = 50.0 * US
+#: Fraction of the copy that runs before a failure is detected; the lane
+#: is occupied for that long even though no data lands.
+FAILURE_DETECT_FRACTION: float = 0.5
 
 
 def copy_time(
@@ -53,6 +66,8 @@ class MigrationRecord:
     start_time: float  #: when the helper thread began copying
     end_time: float  #: when the copy finished
     needed_by: float = float("inf")  #: when the application first needs the object
+    attempts: int = 1  #: copy attempts made (1 = no injected failures)
+    failed: bool = False  #: True when every retry failed and the move was abandoned
 
     @property
     def duration(self) -> float:
@@ -61,6 +76,8 @@ class MigrationRecord:
     @property
     def exposed(self) -> float:
         """Portion of the copy that delayed the application (not overlapped)."""
+        if self.failed:
+            return 0.0  # nothing landed, nobody waited on this copy
         return max(0.0, self.end_time - max(self.needed_by, self.start_time)) if (
             self.needed_by < self.end_time
         ) else 0.0
@@ -83,8 +100,17 @@ class MigrationEngine:
     then (the queue-as-synchronization mechanism in the paper).
     """
 
-    def __init__(self, overhead_s: float = DEFAULT_MIGRATION_OVERHEAD_S):
+    def __init__(
+        self,
+        overhead_s: float = DEFAULT_MIGRATION_OVERHEAD_S,
+        injector: "FaultInjector | None" = None,
+        max_retries: int = DEFAULT_MAX_COPY_RETRIES,
+        retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+    ):
         self.overhead_s = overhead_s
+        self.injector = injector
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
         self._lane_free_at: float = 0.0
         self._available_at: dict[int, float] = {}
         self._last_record: dict[int, MigrationRecord] = {}
@@ -98,13 +124,48 @@ class MigrationEngine:
         dst: MemoryDevice,
         request_time: float,
         earliest_start: float | None = None,
+        critical: bool = False,
     ) -> MigrationRecord:
-        """Enqueue a copy; returns its record (end_time = completion)."""
+        """Enqueue a copy; returns its record (end_time = completion).
+
+        Under fault injection each copy may take several attempts: a
+        failed attempt occupies the lane until the failure is detected,
+        then backs off (exponentially, in virtual time) before retrying.
+        After ``max_retries`` failed retries the migration is abandoned
+        (``record.failed``) and the caller must leave the object where it
+        was.  ``critical`` copies — emergency dirty write-backs whose data
+        would otherwise be lost — are retried until they land and never
+        come back failed.
+        """
         start = max(
             self._lane_free_at,
             request_time if earliest_start is None else max(earliest_start, request_time),
         )
-        end = start + copy_time(nbytes, src, dst, self.overhead_s)
+        base = copy_time(nbytes, src, dst, self.overhead_s)
+        attempts = 1
+        failed = False
+        if self.injector is None:
+            end = start + base
+        else:
+            inj = self.injector
+            ordinal = inj.begin_copy()
+            t = start
+            attempts = 0
+            while True:
+                ct = base * inj.copy_penalty(src.name, dst.name, t)
+                fails = inj.copy_attempt_fails(ordinal, attempts, t, obj_uid, nbytes)
+                if fails and critical and attempts >= self.max_retries:
+                    fails = False  # a critical write-back must eventually land
+                attempts += 1
+                if not fails:
+                    end = t + ct
+                    break
+                t += ct * FAILURE_DETECT_FRACTION
+                if attempts > self.max_retries:
+                    failed = True
+                    end = t  # lane time the failed attempts burned
+                    break
+                t += self.retry_backoff_s * (2 ** (attempts - 1))
         self._lane_free_at = end
         rec = MigrationRecord(
             obj_uid=obj_uid,
@@ -114,10 +175,13 @@ class MigrationEngine:
             request_time=request_time,
             start_time=start,
             end_time=end,
+            attempts=attempts,
+            failed=failed,
         )
         self.records.append(rec)
-        self._available_at[obj_uid] = end
-        self._last_record[obj_uid] = rec
+        if not failed:
+            self._available_at[obj_uid] = end
+            self._last_record[obj_uid] = rec
         return rec
 
     @property
@@ -145,7 +209,7 @@ class MigrationEngine:
         """Record when the application first touched the object after its
         latest migration; drives the %overlap statistic."""
         for rec in reversed(self.records):
-            if rec.obj_uid == obj_uid and rec.needed_by == float("inf"):
+            if rec.obj_uid == obj_uid and not rec.failed and rec.needed_by == float("inf"):
                 rec.needed_by = time
                 break
 
@@ -158,7 +222,23 @@ class MigrationEngine:
 
     @property
     def migrated_bytes(self) -> int:
-        return sum(r.nbytes for r in self.records)
+        return sum(r.nbytes for r in self.records if not r.failed)
+
+    # Resilience statistics (all zero without fault injection) ----------
+    @property
+    def retry_count(self) -> int:
+        """Copy attempts beyond the first, across all migrations."""
+        return sum(r.attempts - 1 for r in self.records)
+
+    @property
+    def recovered_count(self) -> int:
+        """Migrations that landed only after at least one retry."""
+        return sum(1 for r in self.records if r.attempts > 1 and not r.failed)
+
+    @property
+    def failed_count(self) -> int:
+        """Migrations abandoned after exhausting their retries."""
+        return sum(1 for r in self.records if r.failed)
 
     def total_copy_time(self) -> float:
         return sum(r.duration for r in self.records)

@@ -130,16 +130,23 @@ class ObjectAccess:
     # ------------------------------------------------------------------
     # Ground-truth timing (roofline-style: max of latency and bandwidth laws)
     # ------------------------------------------------------------------
-    def memory_time(self, device: MemoryDevice, bw_slowdown: float = 1.0) -> float:
+    def memory_time(
+        self,
+        device: MemoryDevice,
+        bw_slowdown: float = 1.0,
+        lat_slowdown: float = 1.0,
+    ) -> float:
         """Time this footprint spends in main memory on ``device``.
 
         ``bw_slowdown`` (>= 1) is the contention multiplier applied to the
         bandwidth term only: queueing inflates streaming, not the exposed
-        latency of dependent accesses.
+        latency of dependent accesses.  ``lat_slowdown`` (>= 1) scales the
+        latency term instead — injected device degradation (wear/thermal
+        throttling) slows both laws, unlike contention.
         """
         lat = device.latency_time(self.miss_loads, self.miss_stores, self.pattern.mlp)
         bw = device.bandwidth_time(self.read_traffic_bytes, self.write_traffic_bytes)
-        return max(lat, bw * bw_slowdown)
+        return max(lat * lat_slowdown, bw * bw_slowdown)
 
     def scaled(self, factor: float) -> "ObjectAccess":
         """A footprint with access counts scaled by ``factor`` (chunking)."""

@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 from repro.memory.cache import DRAMCacheModel
 from repro.memory.contention import ContentionModel
@@ -140,6 +143,11 @@ class ExecContext:
         touch the object stall until the copy lands.  Returns ``None`` when
         the object is already there.  The copy never starts before the
         object's last dependency-safe point (``last_use_finish``).
+
+        Under fault injection the copy may fail permanently (bounded
+        retries exhausted); the placement is then rolled back so the
+        object stays serviceable from where it already lives, and the
+        returned record carries ``failed=True``.
         """
         src = self.hms.device_of(obj)
         dst_name = device.name if isinstance(device, MemoryDevice) else device
@@ -153,10 +161,18 @@ class ExecContext:
             return None
         safe = self.last_use_finish.get(obj.uid, 0.0)
         start = max(safe, earliest_start if earliest_start is not None else 0.0)
+        was_dirty = self.hms.is_dirty(obj)
         self.hms.move(obj, dst)
-        return self.engine.schedule(
+        rec = self.engine.schedule(
             obj.uid, obj.size_bytes, src, dst, request_time=now, earliest_start=start
         )
+        if rec.failed:
+            # Graceful degradation: the move never happened; the object
+            # keeps being served from the source copy.
+            self.hms.move(obj, src)
+            if was_dirty:
+                self.hms.mark_dirty(obj)
+        return rec
 
     def upcoming(self, window: int) -> list[Task]:
         """The next ``window`` not-yet-dispatched tasks in spawn order —
@@ -224,15 +240,21 @@ class Executor:
         hms: HeterogeneousMemorySystem,
         config: ExecutorConfig | None = None,
         scheduler: SchedulingPolicy | None = None,
+        injector: "FaultInjector | None" = None,
     ):
         self.hms = hms
         self.config = config or ExecutorConfig()
         self.scheduler = scheduler or FIFOPolicy()
+        #: Optional fault injector (see :mod:`repro.faults`); ``None``
+        #: leaves every timing and migration path byte-identical to a
+        #: fault-free build.
+        self.injector = injector
 
     # ------------------------------------------------------------------
     def run(self, graph: TaskGraph, policy: PlacementPolicy) -> ExecutionTrace:
         cfg = self.config
-        engine = MigrationEngine(overhead_s=cfg.migration_overhead_s)
+        injector = self.injector
+        engine = MigrationEngine(overhead_s=cfg.migration_overhead_s, injector=injector)
         ctx = ExecContext(graph, self.hms, engine, cfg)
 
         # Initial placement: the policy places what it wants; everything
@@ -281,9 +303,16 @@ class Executor:
                         ready_at[succ.tid] = t_done
                         self.scheduler.push(succ)
 
+        capacity_lost = 0
+        emergency_evictions = 0
+
         while n_done < n_total:
             free_at, wid = heapq.heappop(workers)
             drain_completions(free_at)
+            if injector is not None:
+                lost, evs = self._apply_capacity_losses(injector, engine, free_at)
+                capacity_lost += lost
+                emergency_evictions += evs
             if n_done >= n_total:
                 break
             if len(self.scheduler) == 0:
@@ -369,7 +398,56 @@ class Executor:
             makespan=makespan,
             n_workers=cfg.n_workers,
         )
+        if injector is not None:
+            trace.faults = {
+                "plan": injector.plan.label(),
+                "injected_copy_failures": injector.injected_copy_failures,
+                "copy_retries": engine.retry_count,
+                "recovered_copies": engine.recovered_count,
+                "failed_migrations": engine.failed_count,
+                "capacity_lost_bytes": capacity_lost,
+                "emergency_evictions": emergency_evictions,
+                "degraded_time_s": injector.degraded_time(makespan),
+                "degraded_slices": injector.degraded_slices(makespan),
+                "events": [
+                    {
+                        "kind": e.kind,
+                        "time": e.time,
+                        "device": e.device,
+                        "detail": e.detail,
+                        "nbytes": e.nbytes,
+                    }
+                    for e in injector.events
+                ],
+            }
         return trace
+
+    def _apply_capacity_losses(
+        self, injector: "FaultInjector", engine: MigrationEngine, now: float
+    ) -> tuple[int, int]:
+        """Apply every capacity-loss event due by ``now``: shrink the
+        device, emergency-evict displaced residents, and write dirty
+        evictees back through the helper lane (critical copies — their
+        DRAM contents would otherwise be lost)."""
+        lost = 0
+        evictions = 0
+        for loss in injector.pop_capacity_losses(now):
+            name = injector.device_name(loss.device)
+            applied, evicted = self.hms.lose_capacity(name, loss.lose_bytes)
+            for obj, was_dirty in evicted:
+                if was_dirty:
+                    engine.schedule(
+                        obj.uid,
+                        obj.size_bytes,
+                        self.hms.dram,
+                        self.hms.nvm,
+                        request_time=now,
+                        critical=True,
+                    )
+            injector.note_capacity_loss(loss, now, applied, len(evicted))
+            lost += applied
+            evictions += len(evicted)
+        return lost, evictions
 
     # ------------------------------------------------------------------
     def _task_times(
@@ -389,14 +467,27 @@ class Executor:
             for d in devices:
                 active[d] = active.get(d, 0) + 1
 
+        inj = self.injector
         mem = 0.0
         if cfg.dram_cache is not None:
             # Memory Mode: hardware cache, placement-oblivious.
             n_str = sum(active.values()) + 1
             slow = cfg.contention.slowdown(n_str)
             for acc in task.accesses.values():
-                t_d = acc.memory_time(self.hms.dram, bw_slowdown=slow)
-                t_n = acc.memory_time(self.hms.nvm, bw_slowdown=slow)
+                if inj is None:
+                    t_d = acc.memory_time(self.hms.dram, bw_slowdown=slow)
+                    t_n = acc.memory_time(self.hms.nvm, bw_slowdown=slow)
+                else:
+                    t_d = acc.memory_time(
+                        self.hms.dram,
+                        bw_slowdown=slow * inj.bw_penalty(self.hms.dram.name, start),
+                        lat_slowdown=inj.lat_penalty(self.hms.dram.name, start),
+                    )
+                    t_n = acc.memory_time(
+                        self.hms.nvm,
+                        bw_slowdown=slow * inj.bw_penalty(self.hms.nvm.name, start),
+                        lat_slowdown=inj.lat_penalty(self.hms.nvm.name, start),
+                    )
                 mem += cfg.dram_cache.blend(t_d, t_n, working_set)
         else:
             for obj, acc in task.accesses.items():
@@ -409,7 +500,16 @@ class Executor:
                 if src_name is not None and not acc.mode.writes:
                     dev = self._device_by_name(src_name, dev)
                 slow = cfg.contention.slowdown(active.get(dev.name, 0) + 1)
-                mem += acc.memory_time(dev, bw_slowdown=slow)
+                if inj is None:
+                    mem += acc.memory_time(dev, bw_slowdown=slow)
+                else:
+                    # Injected degradation slows both timing laws, unlike
+                    # contention which queues only the bandwidth term.
+                    mem += acc.memory_time(
+                        dev,
+                        bw_slowdown=slow * inj.bw_penalty(dev.name, start),
+                        lat_slowdown=inj.lat_penalty(dev.name, start),
+                    )
         return task.compute_time, mem
 
     def _device_by_name(self, name: str, default):

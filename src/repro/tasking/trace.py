@@ -46,6 +46,12 @@ class ExecutionTrace:
     makespan: float = 0.0
     n_workers: int = 1
     meta: dict[str, Any] = field(default_factory=dict)
+    #: Fault-injection digest (see :mod:`repro.faults`): injected /
+    #: retried / recovered / failed counts, capacity losses, degraded-time
+    #: slices and the raw injection events.  ``None`` for fault-free runs,
+    #: which keeps their summaries byte-identical to builds without the
+    #: subsystem.
+    faults: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -104,7 +110,7 @@ class ExecutionTrace:
 
     def summary(self) -> dict[str, Any]:
         """Flat metrics dict for tables and regression tests."""
-        return {
+        out = {
             "makespan": self.makespan,
             "n_tasks": len(self.records),
             "n_workers": self.n_workers,
@@ -119,6 +125,9 @@ class ExecutionTrace:
             "migration_overlap": self.migration_overlap(),
             **self.meta,
         }
+        if self.faults is not None:
+            out["faults"] = self.faults
+        return out
 
     def validate(self) -> None:
         """Sanity invariants used by integration and property tests."""

@@ -53,13 +53,43 @@ def to_chrome_trace(trace: ExecutionTrace) -> str:
     lane_tid = trace.n_workers + 1
     if trace.migrations is not None:
         for m in trace.migrations.records:
+            args = {"bytes": m.nbytes, "src": m.src, "dst": m.dst}
+            name = f"copy uid={m.obj_uid}"
+            if m.attempts > 1:
+                args["attempts"] = m.attempts
+            if m.failed:
+                name = f"copy uid={m.obj_uid} (FAILED)"
+                args["failed"] = True
+            slice_event(name, "migration", m.start_time, m.duration, lane_tid, args)
+
+    fault_tid = trace.n_workers + 2
+    if trace.faults:
+        for s in trace.faults.get("degraded_slices", []):
             slice_event(
-                f"copy uid={m.obj_uid}",
-                "migration",
-                m.start_time,
-                m.duration,
-                lane_tid,
-                {"bytes": m.nbytes, "src": m.src, "dst": m.dst},
+                f"degraded {s['device']} (bw x{s['bandwidth_scale']:g}, "
+                f"lat x{s['latency_scale']:g})",
+                "fault",
+                s["start_s"],
+                s["end_s"] - s["start_s"],
+                fault_tid,
+                {k: v for k, v in s.items()},
+            )
+        for e in trace.faults.get("events", []):
+            events.append(
+                {
+                    "name": e["kind"],
+                    "cat": "fault",
+                    "ph": "i",
+                    "s": "p",
+                    "ts": e["time"] / US,
+                    "pid": 0,
+                    "tid": lane_tid if e["kind"] == "copy-fail" else fault_tid,
+                    "args": {
+                        "device": e["device"],
+                        "detail": e["detail"],
+                        "bytes": e["nbytes"],
+                    },
+                }
             )
 
     meta = [
@@ -81,6 +111,16 @@ def to_chrome_trace(trace: ExecutionTrace) -> str:
             "args": {"name": "helper thread (copies)"},
         }
     )
+    if trace.faults:
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": fault_tid,
+                "args": {"name": "injected faults"},
+            }
+        )
     return json.dumps({"traceEvents": meta + events}, indent=None)
 
 
@@ -88,7 +128,9 @@ def ascii_gantt(trace: ExecutionTrace, width: int = 80) -> str:
     """Render the run as a per-worker ASCII timeline.
 
     ``#`` task execution, ``.`` idle, ``~`` migration copy in flight on
-    the helper lane.
+    the helper lane.  Under fault injection a ``faults`` row appears:
+    ``x`` marks degraded windows, ``!`` marks injection events (copy
+    failures, capacity losses).
     """
     if trace.makespan <= 0 or not trace.records:
         return "(empty trace)"
@@ -112,6 +154,13 @@ def ascii_gantt(trace: ExecutionTrace, width: int = 80) -> str:
         for m in trace.migrations.records:
             paint(row, m.start_time, m.end_time, "~")
         lines.append(f"copies    |{''.join(row)}|")
+    if trace.faults:
+        row = ["."] * width
+        for s in trace.faults.get("degraded_slices", []):
+            paint(row, s["start_s"], s["end_s"], "x")
+        for e in trace.faults.get("events", []):
+            paint(row, e["time"], e["time"], "!")
+        lines.append(f"faults    |{''.join(row)}|")
     lines.append(
         f"           0 {'-' * (width - 12)} {trace.makespan * 1e3:.1f} ms"
     )

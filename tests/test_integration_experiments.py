@@ -20,7 +20,7 @@ pytestmark = pytest.mark.integration
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 12)}
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 13)}
 
     def test_get_experiment(self):
         assert get_experiment("E3").EXPERIMENT == "E3"
