@@ -403,13 +403,25 @@ class DataManagerPolicy(BasePolicy):
         if not plans:
             return overhead
         plans.sort(key=lambda p: -p[0])
-        _, best = plans[0]
+        best_rate, best = plans[0]
         self._mode = best.scope
         self._plan = best
         log.debug(
             "replan@%.4fs: scope=%s set=%d gain=%.3g skepticism=%.2f",
             now, best.scope, len(best.dram_set), best.predicted_gain, self._skepticism,
         )
+        tel = ctx.telemetry
+        if tel is not None and tel.config.audit:
+            tel.audit.log(
+                now, "plan",
+                inputs={
+                    "scope": best.scope,
+                    "dram_set_size": len(best.dram_set),
+                    "predicted_gain": best.predicted_gain,
+                    "gain_rate": best_rate,
+                    "skepticism": self._skepticism,
+                },
+            )
         migs_before = self.stats["migrations_requested"]
         overhead += self._enforce(best, ctx, now)
         if self.stats["migrations_requested"] > migs_before and self._watch is None:
@@ -444,6 +456,16 @@ class DataManagerPolicy(BasePolicy):
         cfg = self.config
         by_uid = {o.uid: o for o in ctx.graph.objects}
         overhead = 0.0
+        tel = ctx.telemetry
+        audit = tel.audit if tel is not None and tel.config.audit else None
+
+        def refuse(obj, reason: str, **inputs) -> None:
+            if audit is not None:
+                audit.log(
+                    now, "skip", obj_uid=obj.uid, size_bytes=obj.size_bytes,
+                    src=ctx.hms.device_of(obj).name, dst=ctx.dram.name,
+                    inputs={"reason": reason, **inputs},
+                )
 
         incoming = [
             by_uid[uid]
@@ -461,10 +483,12 @@ class DataManagerPolicy(BasePolicy):
 
         for obj in incoming:
             if backlog > cfg.max_lane_backlog_s:
+                refuse(obj, "lane_backlog", backlog=backlog)
                 break  # lane pile-up: defer the rest to a later replan
             # Ping-pong breaker: an object that keeps crossing the bus is
             # being mispredicted; pin it where it is.
             if self._move_counts.get(obj.uid, 0) >= cfg.max_moves_per_object:
+                refuse(obj, "pinned", moves=self._move_counts[obj.uid])
                 continue
             ct = copy_time(obj.size_bytes, ctx.nvm, ctx.dram, ctx.config.migration_overhead_s)
             first_use = plan.first_use.get(obj.uid, 0.0)
@@ -494,29 +518,59 @@ class DataManagerPolicy(BasePolicy):
                 victim_value += max(plan.weights.get(v.uid, 0.0), 0.0)
                 free += v.size_bytes
             if free < obj.size_bytes:
+                refuse(obj, "no_room", free=free)
                 continue  # cannot make room even after all victims
             # Economics of the whole swap: the newcomer's net weight must
             # beat what the victims were still worth plus the eviction
             # copies (with the same hysteresis margin as promotions).
             if in_weight <= victim_value + cfg.plan.cost_margin * evict_time:
+                refuse(
+                    obj, "swap_economics",
+                    in_weight=in_weight, victim_value=victim_value,
+                    evict_time=evict_time,
+                )
                 continue
             # Stall guard: the weight already charges the cost-margined
             # copy; only an *additional* exposed stall beyond that refusal
             # threshold vetoes the move.
             stall_est = max(0.0, backlog + evict_time + ct - first_use)
             if stall_est > in_weight + cfg.plan.cost_margin * ct:
+                refuse(
+                    obj, "stall_guard",
+                    stall_est=stall_est, in_weight=in_weight, copy_time=ct,
+                )
                 continue  # the copy would cost more than it saves
             for v in planned_victims:
-                rec_v = ctx.request_migration(v, ctx.nvm, now)
+                rec_v = ctx.request_migration(
+                    v, ctx.nvm, now,
+                    inputs={
+                        "reason": "eviction",
+                        "victim_weight": plan.weights.get(v.uid, 0.0),
+                        "for_uid": obj.uid,
+                    },
+                )
                 self._note_outcome(rec_v)
                 self._move_counts[v.uid] = self._move_counts.get(v.uid, 0) + 1
                 self.stats["migrations_requested"] += 1
                 overhead += cfg.per_migration_request_overhead_s
             victims = [v for v in victims if v not in planned_victims]
             if not ctx.hms.dram_fits(obj.size_bytes):
+                refuse(obj, "fragmentation")
                 continue  # fragmentation (or a failed eviction copy kept a
                 # victim resident): give up on this object
-            rec = ctx.request_migration(obj, ctx.dram, now)
+            rec = ctx.request_migration(
+                obj, ctx.dram, now,
+                inputs={
+                    "reason": "promotion",
+                    "benefit_weight": in_weight,
+                    "copy_time": ct,
+                    "first_use_offset": first_use,
+                    "backlog": backlog,
+                    "evict_time": evict_time,
+                    "victim_value": victim_value,
+                    "stall_est": stall_est,
+                },
+            )
             self._note_outcome(rec)
             log.debug("promote uid=%d (%d B) victims=%d", obj.uid, obj.size_bytes,
                       len(planned_victims))

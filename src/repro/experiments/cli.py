@@ -1,25 +1,28 @@
-"""Command-line entry: run experiments and print their tables.
+"""Command-line entry: run experiments, sweeps, traces, and telemetry.
 
-Usage::
+The CLI is verb-structured; every verb shares one common option block
+(``--seed``, ``--jobs``, ``--cache-dir``, ``--format``) and the same exit
+codes (0 ok, 1 a run or gate failed, 2 usage / unknown name)::
 
-    repro-experiments e1 e3              # specific experiments
-    repro-experiments all                # the whole suite
-    repro-experiments all --full         # full problem sizes
-    repro-experiments e3 --workers 4     # fan runs out over 4 processes
-    repro-experiments e3 --no-cache      # force re-simulation
-    repro-experiments e3 --cache-stats   # report hit/miss counts at the end
-    repro-experiments --cache-prune entries=500,age=30d   # evict stale entries
-
-The ``trace`` verb executes a single described run and exports its
-timeline instead of an experiment table::
-
+    repro-experiments e1 e3              # default verb: run experiments
+    repro-experiments run all --full     # the whole suite, full sizes
+    repro-experiments run e3 --jobs 4    # fan runs out over 4 processes
+    repro-experiments sweep cg,heat --policies tahoe,nvm-only --nvm bw-1/2
     repro-experiments trace heat --policy tahoe --nvm bw-1/8 --gantt
-    repro-experiments trace cg --faults moderate --chrome out.json
+    repro-experiments metrics cg --policy tahoe --format prom
+    repro-experiments bench --out BENCH_PR4.json
+
+``metrics`` executes one described run under telemetry and exports the
+metric series, time-series samples and placement audit log (JSON / CSV /
+Prometheus text).  ``bench`` runs the tier-1 benchmark suite under
+self-instrumentation and writes a wall-clock profile (see
+:mod:`repro.metrics.bench`).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -30,6 +33,99 @@ from repro.experiments.registry import EXPERIMENTS, get_experiment
 __all__ = ["main"]
 
 _AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+# ----------------------------------------------------------------------
+# Shared option block and helpers
+# ----------------------------------------------------------------------
+def _common_parser(formats: tuple[str, ...], default_format: str) -> argparse.ArgumentParser:
+    """The parent parser every verb inherits: one flag vocabulary."""
+    p = argparse.ArgumentParser(add_help=False)
+    g = p.add_argument_group("common options")
+    g.add_argument("--seed", type=int, default=None, help="profiler seed override")
+    g.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for run fan-out (default: $REPRO_WORKERS or serial)",
+    )
+    g.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="result-cache directory (overrides $REPRO_CACHE_DIR)",
+    )
+    g.add_argument(
+        "--format", choices=formats, default=default_format,
+        help=f"output format (default: {default_format})",
+    )
+    return p
+
+
+def _apply_common(args: argparse.Namespace) -> None:
+    if args.cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+    if args.jobs is not None:
+        set_default_workers(args.jobs)
+
+
+def _experiments_epilog() -> str:
+    lines = ["experiments:"]
+    for key in sorted(EXPERIMENTS):
+        lines.append(f"  {key:<5} {EXPERIMENTS[key].TITLE}")
+    return "\n".join(lines)
+
+
+def _nvm_device(name: str):
+    from repro.memory.presets import NVM_CONFIGS
+
+    configs = NVM_CONFIGS()
+    if name not in configs:
+        raise KeyError(f"unknown NVM config {name!r} (known: {sorted(configs)})")
+    return configs[name]
+
+
+def _add_run_description(parser: argparse.ArgumentParser, workload_nargs=None) -> None:
+    """The spec-shaped options shared by trace/metrics/sweep."""
+    parser.add_argument(
+        "workload",
+        **({"nargs": workload_nargs} if workload_nargs else {}),
+        help="workload name (see repro.workloads); comma-separate for sweeps",
+    )
+    parser.add_argument("--policy", default="tahoe", help="policy name (default: tahoe)")
+    parser.add_argument(
+        "--nvm", default="bw-1/8", metavar="CONFIG",
+        help="NVM configuration name (default: bw-1/8)",
+    )
+    parser.add_argument(
+        "--dram-mib", type=float, default=None, metavar="MIB",
+        help="DRAM capacity in MiB (default: the suite default)",
+    )
+    parser.add_argument("--workers", type=int, default=8, help="simulated workers")
+    parser.add_argument("--scheduler", default="fifo", help="ready-task ordering policy")
+    parser.add_argument("--full", action="store_true", help="use full problem sizes")
+    parser.add_argument(
+        "--faults", default=None, metavar="PRESET|JSON",
+        help="fault plan: a preset name or inline JSON",
+    )
+
+
+def _spec_from_args(args: argparse.Namespace, workload: str, telemetry=None):
+    from repro.experiments.spec import RunSpec
+    from repro.memory.presets import DEFAULT_DRAM_CAPACITY
+    from repro.util.units import MIB
+
+    dram_capacity = (
+        int(args.dram_mib * MIB) if args.dram_mib is not None else DEFAULT_DRAM_CAPACITY
+    )
+    return RunSpec(
+        workload=workload,
+        policy=args.policy,
+        nvm=_nvm_device(args.nvm),
+        dram_capacity=dram_capacity,
+        n_workers=args.workers,
+        fast=not args.full,
+        seed=args.seed,
+        scheduler=args.scheduler,
+        faults=args.faults,
+        telemetry=telemetry,
+    )
 
 
 def _parse_prune_spec(spec: str) -> tuple[int | None, float | None]:
@@ -61,144 +157,43 @@ def _parse_prune_spec(spec: str) -> tuple[int | None, float | None]:
     return max_entries, max_age_s
 
 
-def _trace_main(argv: list[str]) -> int:
-    """The ``trace`` verb: run one spec, export Chrome JSON / ASCII gantt."""
+# ----------------------------------------------------------------------
+# run (default verb)
+# ----------------------------------------------------------------------
+def _run_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
-        prog="repro-experiments trace",
-        description="Execute one described run and export its timeline.",
-    )
-    parser.add_argument("workload", help="workload name (see repro.workloads)")
-    parser.add_argument("--policy", default="tahoe", help="policy name (default: tahoe)")
-    parser.add_argument(
-        "--nvm", default="bw-1/8", metavar="CONFIG",
-        help="NVM configuration name (default: bw-1/8)",
-    )
-    parser.add_argument(
-        "--dram-mib", type=float, default=None, metavar="MIB",
-        help="DRAM capacity in MiB (default: the suite default)",
-    )
-    parser.add_argument("--workers", type=int, default=8, help="simulated workers")
-    parser.add_argument("--seed", type=int, default=None, help="profiler seed override")
-    parser.add_argument("--scheduler", default="fifo", help="ready-task ordering policy")
-    parser.add_argument(
-        "--full", action="store_true", help="use full problem sizes"
-    )
-    parser.add_argument(
-        "--faults", default=None, metavar="PRESET|JSON|@FILE",
-        help="fault plan: a preset name, inline JSON, or @file.json",
-    )
-    parser.add_argument(
-        "--chrome", metavar="PATH",
-        help="write a Chrome Trace Event JSON file (chrome://tracing, Perfetto)",
-    )
-    parser.add_argument(
-        "--gantt", action="store_true",
-        help="print an ASCII gantt (default when --chrome is not given)",
-    )
-    args = parser.parse_args(argv)
-
-    from repro.experiments.runner import execute_spec
-    from repro.experiments.spec import RunSpec
-    from repro.memory.presets import DEFAULT_DRAM_CAPACITY, NVM_CONFIGS
-    from repro.tasking.tracefmt import ascii_gantt, to_chrome_trace
-    from repro.util.units import MIB
-
-    configs = NVM_CONFIGS()
-    if args.nvm not in configs:
-        print(
-            f"unknown NVM config {args.nvm!r} (known: {sorted(configs)})",
-            file=sys.stderr,
-        )
-        return 2
-    dram_capacity = (
-        int(args.dram_mib * MIB) if args.dram_mib is not None else DEFAULT_DRAM_CAPACITY
-    )
-    try:
-        spec = RunSpec(
-            workload=args.workload,
-            policy=args.policy,
-            nvm=configs[args.nvm],
-            dram_capacity=dram_capacity,
-            n_workers=args.workers,
-            fast=not args.full,
-            seed=args.seed,
-            scheduler=args.scheduler,
-            faults=args.faults,
-        )
-        trace = execute_spec(spec)
-    except (KeyError, ValueError, OSError) as exc:
-        print(exc, file=sys.stderr)
-        return 2
-
-    print(
-        f"{spec.label()}: makespan {trace.makespan * 1e3:.3f} ms, "
-        f"{len(trace.records)} tasks, {trace.migration_count} migrations "
-        f"({trace.migrated_mib:.1f} MiB)"
-    )
-    if trace.faults is not None:
-        f = trace.faults
-        print(
-            f"faults: {f['injected_copy_failures']} injected, "
-            f"{f['copy_retries']} retries, {f['recovered_copies']} recovered, "
-            f"{f['failed_migrations']} failed migrations, "
-            f"{f['emergency_evictions']} emergency evictions, "
-            f"degraded {f['degraded_time_s'] * 1e3:.3f} ms"
-        )
-    if args.chrome:
-        from pathlib import Path
-
-        Path(args.chrome).write_text(to_chrome_trace(trace), encoding="utf-8")
-        print(f"wrote Chrome trace to {args.chrome}")
-    if args.gantt or not args.chrome:
-        print(ascii_gantt(trace))
-    return 0
-
-
-def main(argv: list[str] | None = None) -> int:
-    argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] == "trace":
-        return _trace_main(argv[1:])
-    parser = argparse.ArgumentParser(
-        prog="repro-experiments",
+        prog="repro-experiments run",
         description="Regenerate the paper's tables and figures on the simulator.",
+        epilog=_experiments_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        parents=[_common_parser(("table",), "table")],
     )
     parser.add_argument(
-        "experiments",
-        nargs="*",
-        help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+        "experiments", nargs="*",
+        help="experiment ids (see below) or 'all'",
     )
     parser.add_argument(
-        "--full",
-        action="store_true",
+        "--full", action="store_true",
         help="use full problem sizes (default: fast sizes)",
     )
+    # Pre-verb spelling of --jobs, kept as a hidden alias.
+    parser.add_argument("--workers", type=int, default=None, dest="jobs",
+                        help=argparse.SUPPRESS)
     parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        metavar="N",
-        help="processes for run fan-out (default: $REPRO_WORKERS or serial)",
-    )
-    parser.add_argument(
-        "--no-cache",
-        action="store_true",
+        "--no-cache", action="store_true",
         help="bypass the on-disk result cache ($REPRO_CACHE_DIR)",
     )
     parser.add_argument(
-        "--cache-stats",
-        action="store_true",
+        "--cache-stats", action="store_true",
         help="print result-cache hit/miss statistics after the run",
     )
     parser.add_argument(
-        "--cache-prune",
-        metavar="SPEC",
+        "--cache-prune", metavar="SPEC",
         help="evict stale cache entries first: entries=N and/or age=N[s|m|h|d] "
         "(comma-separated, e.g. entries=500,age=30d)",
     )
     args = parser.parse_args(argv)
-
-    if args.workers is not None:
-        set_default_workers(args.workers)
+    _apply_common(args)
     if args.no_cache:
         set_cache_enabled(False)
 
@@ -241,6 +236,260 @@ def main(argv: list[str] | None = None) -> int:
         cache = get_cache()
         print(cache.describe() if cache is not None else "cache disabled")
     return rc
+
+
+# ----------------------------------------------------------------------
+# sweep
+# ----------------------------------------------------------------------
+def _sweep_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments sweep",
+        description="Run a workload x policy x NVM sweep and pivot the results.",
+        parents=[_common_parser(("table", "json", "csv"), "table")],
+    )
+    parser.add_argument("workloads", help="comma-separated workload names")
+    parser.add_argument(
+        "--policies", default="tahoe", help="comma-separated policy names"
+    )
+    parser.add_argument(
+        "--nvm", default="bw-1/8", metavar="CONFIGS",
+        help="comma-separated NVM configuration names",
+    )
+    parser.add_argument("--workers", type=int, default=8, help="simulated workers")
+    parser.add_argument("--full", action="store_true", help="use full problem sizes")
+    parser.add_argument("--rows", default="workload", help="pivot row axis")
+    parser.add_argument("--cols", default="policy", help="pivot column axis")
+    parser.add_argument("--value", default="makespan", help="pivot cell metric")
+    args = parser.parse_args(argv)
+    _apply_common(args)
+
+    from repro.experiments.sweep import pivot, sweep
+
+    try:
+        nvms = [_nvm_device(n.strip()) for n in args.nvm.split(",") if n.strip()]
+        records = sweep(
+            workload=[w.strip() for w in args.workloads.split(",") if w.strip()],
+            policy=[p.strip() for p in args.policies.split(",") if p.strip()],
+            nvm=nvms,
+            fast=not args.full,
+            n_workers=args.workers,
+            **({"seed": args.seed} if args.seed is not None else {}),
+        )
+    except (KeyError, ValueError, RuntimeError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        import json
+
+        print(json.dumps(records, sort_keys=True, indent=2))
+    elif args.format == "csv":
+        import csv
+
+        writer = csv.DictWriter(sys.stdout, fieldnames=sorted(records[0]))
+        writer.writeheader()
+        writer.writerows(records)
+    else:
+        print(pivot(records, rows=args.rows, cols=args.cols, value=args.value).render())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# trace
+# ----------------------------------------------------------------------
+def _trace_main(argv: list[str]) -> int:
+    """The ``trace`` verb: run one spec, export Chrome JSON / ASCII gantt."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments trace",
+        description="Execute one described run and export its timeline.",
+        parents=[_common_parser(("table", "json"), "table")],
+    )
+    _add_run_description(parser)
+    parser.add_argument(
+        "--chrome", metavar="PATH",
+        help="write a Chrome Trace Event JSON file (chrome://tracing, Perfetto)",
+    )
+    parser.add_argument(
+        "--gantt", action="store_true",
+        help="print an ASCII gantt (default when --chrome is not given)",
+    )
+    parser.add_argument(
+        "--telemetry", nargs="?", const="on", default=None, metavar="JSON",
+        help="instrument the run (adds counter tracks to the Chrome trace)",
+    )
+    args = parser.parse_args(argv)
+    _apply_common(args)
+
+    from repro.experiments.runner import execute_spec
+    from repro.tasking.tracefmt import ascii_gantt, to_chrome_trace
+
+    try:
+        spec = _spec_from_args(args, args.workload, telemetry=args.telemetry)
+        trace = execute_spec(spec)
+    except (KeyError, ValueError, OSError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(to_chrome_trace(trace))
+        return 0
+
+    print(
+        f"{spec.label()}: makespan {trace.makespan * 1e3:.3f} ms, "
+        f"{len(trace.records)} tasks, {trace.migration_count} migrations "
+        f"({trace.migrated_mib:.1f} MiB)"
+    )
+    if trace.faults is not None:
+        f = trace.faults
+        print(
+            f"faults: {f['injected_copy_failures']} injected, "
+            f"{f['copy_retries']} retries, {f['recovered_copies']} recovered, "
+            f"{f['failed_migrations']} failed migrations, "
+            f"{f['emergency_evictions']} emergency evictions, "
+            f"degraded {f['degraded_time_s'] * 1e3:.3f} ms"
+        )
+    if args.chrome:
+        from pathlib import Path
+
+        Path(args.chrome).write_text(to_chrome_trace(trace), encoding="utf-8")
+        print(f"wrote Chrome trace to {args.chrome}")
+    if args.gantt or not args.chrome:
+        print(ascii_gantt(trace))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+def _metrics_main(argv: list[str]) -> int:
+    """The ``metrics`` verb: one instrumented run, exported telemetry."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments metrics",
+        description="Execute one described run under telemetry and export the "
+        "metric series, time-series samples and placement audit log.",
+        parents=[_common_parser(("json", "csv", "prom"), "json")],
+    )
+    _add_run_description(parser)
+    parser.add_argument(
+        "--telemetry", default="on", metavar="JSON",
+        help="telemetry config overrides as JSON (default: on with defaults)",
+    )
+    parser.add_argument(
+        "-o", "--output", metavar="PATH", default=None,
+        help="write the export here instead of stdout",
+    )
+    args = parser.parse_args(argv)
+    _apply_common(args)
+
+    from repro.experiments.runner import execute_spec
+    from repro.metrics.export import json_digest, to_csv, to_json, to_prometheus
+    from repro.metrics.telemetry import Telemetry
+
+    try:
+        spec = _spec_from_args(args, args.workload, telemetry=args.telemetry)
+        if spec.telemetry is None:
+            print("telemetry is off; nothing to export", file=sys.stderr)
+            return 2
+        tel = Telemetry(spec.telemetry)
+        trace = execute_spec(spec, telemetry=tel)
+    except (KeyError, ValueError, OSError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    export = tel.export()
+    if args.format == "prom":
+        text = to_prometheus(tel)
+    elif args.format == "csv":
+        text = to_csv(export)
+    else:
+        text = to_json(export, indent=2)
+    print(
+        f"{spec.label()}: makespan {trace.makespan * 1e3:.3f} ms, "
+        f"{len(export['metrics']['series'])} metric series, "
+        f"{len(export['samplers'])} sampler series, "
+        f"{export['audit']['n_entries']} audit entries, "
+        f"digest {json_digest(export)[:16]}",
+        file=sys.stderr,
+    )
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {args.format} export to {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# bench
+# ----------------------------------------------------------------------
+def _bench_main(argv: list[str]) -> int:
+    """The ``bench`` verb: self-instrumented tier-1 benchmark suite."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments bench",
+        description="Run the tier-1 benchmark suite under self-instrumentation "
+        "(wall-clock per phase: graph build, placement, executor loop, cache "
+        "I/O) and write a machine-comparable profile.",
+        parents=[_common_parser(("json",), "json")],
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default="BENCH_PR4.json",
+        help="output profile path (default: BENCH_PR4.json)",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=3, help="repetitions per cell (default: 3)"
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="compare against a checked-in baseline profile",
+    )
+    parser.add_argument(
+        "--gate", type=float, default=20.0, metavar="PCT",
+        help="fail (exit 1) if normalized wall clock regresses more than "
+        "PCT%% vs --baseline (default: 20)",
+    )
+    args = parser.parse_args(argv)
+    _apply_common(args)
+
+    from repro.metrics.bench import check_against_baseline, run_bench, write_profile
+
+    try:
+        profile = run_bench(reps=args.reps, seed=args.seed)
+    except (KeyError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    write_profile(profile, args.out)
+    print(
+        f"bench: {profile['n_runs']} runs in {profile['total_wall_s']:.3f} s "
+        f"(normalized {profile['normalized_total']:.1f}); wrote {args.out}"
+    )
+    for phase, t in sorted(profile["phases"].items()):
+        print(f"  {phase:<14} {t * 1e3:9.2f} ms")
+    if args.baseline:
+        ok, message = check_against_baseline(profile, args.baseline, args.gate)
+        print(message)
+        if not ok:
+            return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+_VERBS = {
+    "run": _run_main,
+    "sweep": _sweep_main,
+    "trace": _trace_main,
+    "metrics": _metrics_main,
+    "bench": _bench_main,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in _VERBS:
+        return _VERBS[argv[0]](argv[1:])
+    # Default verb: run (bare experiment ids keep working).
+    return _run_main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover

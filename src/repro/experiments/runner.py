@@ -7,9 +7,9 @@ registry, execute, and return the trace.  DRAM-only reference runs
 automatically get a DRAM tier large enough for the full working set, as
 the paper's DRAM-only baseline does.
 
-``run_workload(spec)`` is the primary form.  The historical keyword form
-(``run_workload("heat", "tahoe", nvm, ...)``) still works as a thin shim
-that constructs a :class:`RunSpec` and emits a ``DeprecationWarning``.
+``run_workload(spec)`` takes a :class:`RunSpec` and nothing else — the
+historical keyword form (``run_workload("heat", "tahoe", nvm, ...)``)
+was removed after its deprecation cycle and now raises ``TypeError``.
 For sweeps, prefer :func:`repro.experiments.parallel.run_many`, which
 adds process fan-out and the on-disk result cache.
 """
@@ -17,7 +17,6 @@ adds process fan-out and the on-disk result cache.
 from __future__ import annotations
 
 import difflib
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
@@ -37,7 +36,7 @@ from repro.core.placement import PlanConfig
 from repro.experiments.spec import RunSpec, RunResult
 from repro.memory.device import MemoryDevice
 from repro.memory.hms import HeterogeneousMemorySystem
-from repro.memory.presets import DEFAULT_DRAM_CAPACITY, dram as dram_preset
+from repro.memory.presets import dram as dram_preset
 from repro.tasking.executor import Executor, ExecutorConfig
 from repro.tasking.scheduler import (
     CriticalPathPolicy,
@@ -213,13 +212,19 @@ def _build_machine(spec: RunSpec, total_bytes: int) -> tuple[MemoryDevice, Execu
     return dram_dev, cfg
 
 
-def execute_spec(spec: RunSpec) -> ExecutionTrace:
-    """Build + execute the run a :class:`RunSpec` describes (no cache)."""
-    trace, _ = _execute(spec)
+def execute_spec(spec: RunSpec, telemetry: Any = None) -> ExecutionTrace:
+    """Build + execute the run a :class:`RunSpec` describes (no cache).
+
+    ``telemetry`` may be a live :class:`~repro.metrics.Telemetry` to
+    instrument the run with (the caller keeps the handle for exporting);
+    when ``None``, one is created automatically iff the spec carries a
+    telemetry config, and its export rides on ``trace.telemetry``.
+    """
+    trace, _ = _execute(spec, telemetry)
     return trace
 
 
-def _execute(spec: RunSpec) -> tuple[ExecutionTrace, MemoryDevice]:
+def _execute(spec: RunSpec, telemetry: Any = None) -> tuple[ExecutionTrace, MemoryDevice]:
     params = workload_params(spec.workload, spec.fast)
     params.update(spec.workload_kwargs)
     workload = build(spec.workload, **params)
@@ -237,9 +242,13 @@ def _execute(spec: RunSpec) -> tuple[ExecutionTrace, MemoryDevice]:
         from repro.faults.injector import FaultInjector
 
         injector = FaultInjector.for_hms(spec.faults, hms)
-    trace = Executor(hms, cfg, make_scheduler(spec.scheduler), injector=injector).run(
-        graph, policy
-    )
+    if telemetry is None and spec.telemetry is not None:
+        from repro.metrics.telemetry import Telemetry
+
+        telemetry = Telemetry(spec.telemetry)
+    trace = Executor(
+        hms, cfg, make_scheduler(spec.scheduler), injector=injector, telemetry=telemetry
+    ).run(graph, policy)
     trace.meta.update(
         workload=spec.workload,
         policy=policy.name,
@@ -259,41 +268,21 @@ def run_and_summarize(spec: RunSpec) -> RunResult:
     return RunResult.from_trace(spec, trace, dram_dev, spec.nvm)
 
 
-def run_workload(
-    workload_name: str | RunSpec,
-    policy_name: str | None = None,
-    nvm: MemoryDevice | None = None,
-    dram_capacity: int = DEFAULT_DRAM_CAPACITY,
-    n_workers: int = 8,
-    fast: bool = True,
-    workload_overrides: dict[str, Any] | None = None,
-    exec_overrides: dict[str, Any] | None = None,
-) -> ExecutionTrace:
+def run_workload(spec: RunSpec, *args: Any, **kwargs: Any) -> ExecutionTrace:
     """Execute one run and return its :class:`ExecutionTrace`.
 
-    Primary form: ``run_workload(spec)`` with a :class:`RunSpec`.  The
-    keyword form is deprecated; it builds the equivalent spec and runs it.
+    Takes a :class:`RunSpec` and nothing else.  The pre-RunSpec keyword
+    form (``run_workload("heat", "tahoe", nvm, ...)``) was removed after
+    its deprecation cycle; calling it that way raises ``TypeError`` with
+    migration instructions.
     """
-    if isinstance(workload_name, RunSpec):
-        return execute_spec(workload_name)
-    warnings.warn(
-        "run_workload(workload, policy, nvm, ...) is deprecated; build a "
-        "RunSpec and call run_workload(spec) (or run_many for sweeps)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    if policy_name is None or nvm is None:
-        raise TypeError("run_workload needs a RunSpec or (workload, policy, nvm)")
-    spec = RunSpec(
-        workload=workload_name,
-        policy=policy_name,
-        nvm=nvm,
-        dram_capacity=dram_capacity,
-        n_workers=n_workers,
-        fast=fast,
-        workload_overrides=workload_overrides or (),
-        exec_overrides=exec_overrides or (),
-    )
+    if not isinstance(spec, RunSpec) or args or kwargs:
+        raise TypeError(
+            "run_workload() takes a single RunSpec; the keyword form "
+            "run_workload(workload, policy, nvm, ...) was removed. Build a "
+            "RunSpec(workload=..., policy=..., nvm=...) and pass it instead "
+            "(or use repro.experiments.parallel.run_many for sweeps)."
+        )
     return execute_spec(spec)
 
 

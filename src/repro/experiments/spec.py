@@ -151,11 +151,20 @@ class RunSpec:
     #: empty plan becomes ``None`` and the spec — including its cache key
     #: — is indistinguishable from one that never mentioned faults.
     faults: Any = None
+    #: Telemetry config for the run: a
+    #: :class:`~repro.metrics.telemetry.TelemetryConfig`, ``True``/"on"
+    #: (defaults), a JSON string/mapping of field overrides, or ``None``
+    #: (off).  Same omitted-when-off convention as ``faults``, so
+    #: uninstrumented specs keep their pre-subsystem cache keys.
+    telemetry: Any = None
 
     def __post_init__(self) -> None:
+        from repro.metrics.telemetry import resolve_telemetry
+
         for name in ("workload_overrides", "policy_overrides", "exec_overrides"):
             object.__setattr__(self, name, _freeze(getattr(self, name) or ()))
         object.__setattr__(self, "faults", resolve_plan(self.faults))
+        object.__setattr__(self, "telemetry", resolve_telemetry(self.telemetry))
 
     # -- dict views of the frozen overrides ----------------------------
     @property
@@ -191,6 +200,11 @@ class RunSpec:
                 if value is None:
                     continue
                 value = value.to_dict()
+            elif f.name == "telemetry":
+                # Same convention as faults: off means absent.
+                if value is None:
+                    continue
+                value = value.to_dict()
             out[f.name] = value
         return out
 
@@ -214,6 +228,8 @@ class RunSpec:
             extras.append(self.scheduler)
         if self.faults is not None:
             extras.append(self.faults.label())
+        if self.telemetry is not None:
+            extras.append(self.telemetry.label())
         tail = f" [{' '.join(extras)}]" if extras else ""
         return f"{self.workload}/{self.policy}@{self.nvm.name}{tail}"
 

@@ -45,6 +45,26 @@ class FreeListAllocator:
         # Free list kept sorted by offset: list of [offset, size].
         self._free: list[list[int]] = [[0, self.capacity]]
         self._allocated: dict[int, int] = {}  # offset -> size
+        # Optional telemetry registry + device label (attached per run).
+        self._metrics = None
+        self._device = ""
+
+    def attach_metrics(self, registry, device: str) -> None:
+        """Enable alloc/free/fragmentation instrumentation (telemetry)."""
+        self._metrics = registry
+        self._device = device
+
+    def _note_state(self) -> None:
+        """Refresh the per-device gauges after a mutation."""
+        m = self._metrics
+        labels = {"device": self._device}
+        m.gauge(
+            "allocator_free_bytes", labels, help="Free space on the device"
+        ).set(self.free_bytes)
+        m.gauge(
+            "allocator_fragmentation", labels,
+            help="1 - largest free extent / total free",
+        ).set(self.fragmentation)
 
     # ------------------------------------------------------------------
     def _round_up(self, size: int) -> int:
@@ -69,7 +89,18 @@ class FreeListAllocator:
                 else:
                     entry[0] = off + need
                     entry[1] = avail - need
+                if self._metrics is not None:
+                    self._metrics.counter(
+                        "allocator_allocs_total", {"device": self._device},
+                        help="Successful allocations",
+                    ).inc()
+                    self._note_state()
                 return off
+        if self._metrics is not None:
+            self._metrics.counter(
+                "allocator_oom_total", {"device": self._device},
+                help="Allocations refused for lack of a fitting extent",
+            ).inc()
         raise OutOfMemoryError(
             f"cannot allocate {need} bytes: free={self.free_bytes}, "
             f"largest extent={self.largest_free_extent}"
@@ -83,6 +114,11 @@ class FreeListAllocator:
             raise KeyError(f"offset {offset} is not allocated") from None
         insort(self._free, [offset, size])
         self._coalesce()
+        if self._metrics is not None:
+            self._metrics.counter(
+                "allocator_frees_total", {"device": self._device}, help="Frees"
+            ).inc()
+            self._note_state()
         return size
 
     def _coalesce(self) -> None:

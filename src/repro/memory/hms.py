@@ -13,10 +13,13 @@ tasking layer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Iterable, Protocol, runtime_checkable
 
 from repro.memory.allocator import FreeListAllocator, OutOfMemoryError
 from repro.memory.device import DeviceKind, MemoryDevice
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metrics.registry import MetricsRegistry
 
 __all__ = ["HeterogeneousMemorySystem", "Placement", "Placeable"]
 
@@ -65,6 +68,15 @@ class HeterogeneousMemorySystem:
         #: DRAM resident still matches its NVM shadow, so evicting it needs
         #: no copy — the write-back optimization real tiering runtimes use.
         self._dirty: set[int] = set()
+        #: Optional telemetry registry (attached per run when enabled).
+        self.metrics: "MetricsRegistry | None" = None
+
+    def attach_metrics(self, registry: "MetricsRegistry") -> None:
+        """Enable placement-churn instrumentation on this machine and its
+        per-device allocators (telemetry plane)."""
+        self.metrics = registry
+        for name, alloc in self._allocators.items():
+            alloc.attach_metrics(registry, name)
 
     # ------------------------------------------------------------------
     # Queries
@@ -126,6 +138,11 @@ class HeterogeneousMemorySystem:
         pl = Placement(name, offset, obj.size_bytes)
         self._placements[obj.uid] = pl
         self._objects[obj.uid] = obj
+        if self.metrics is not None:
+            self.metrics.counter(
+                "hms_allocations_total", {"device": name},
+                help="Objects placed on each tier",
+            ).inc()
         return pl
 
     def free(self, obj: Placeable) -> None:
@@ -151,6 +168,11 @@ class HeterogeneousMemorySystem:
         self._placements[obj.uid] = pl
         # A fresh DRAM copy starts clean; leaving DRAM drops dirty state.
         self._dirty.discard(obj.uid)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "hms_moves_total", {"src": old.device, "dst": name},
+                help="Placement flips between tiers",
+            ).inc()
         return pl
 
     def move_many(self, objs: Iterable[Placeable], device: MemoryDevice | str) -> None:

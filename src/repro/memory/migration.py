@@ -20,6 +20,7 @@ from repro.util.validation import require_nonnegative
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
+    from repro.metrics.registry import MetricsRegistry
 
 __all__ = ["copy_time", "MigrationRecord", "MigrationEngine"]
 
@@ -115,6 +116,12 @@ class MigrationEngine:
         self._available_at: dict[int, float] = {}
         self._last_record: dict[int, MigrationRecord] = {}
         self.records: list[MigrationRecord] = []
+        #: Optional telemetry registry (attached per run when enabled).
+        self.metrics: "MetricsRegistry | None" = None
+
+    def attach_metrics(self, registry: "MetricsRegistry") -> None:
+        """Enable per-copy instrumentation (telemetry plane)."""
+        self.metrics = registry
 
     def schedule(
         self,
@@ -182,12 +189,47 @@ class MigrationEngine:
         if not failed:
             self._available_at[obj_uid] = end
             self._last_record[obj_uid] = rec
+        if self.metrics is not None:
+            lane = {"src": src.name, "dst": dst.name}
+            self.metrics.counter(
+                "migrations_total", lane, help="Copies scheduled on the helper lane"
+            ).inc()
+            if failed:
+                self.metrics.counter(
+                    "migration_failures_total", lane,
+                    help="Copies abandoned after exhausting retries",
+                ).inc()
+            else:
+                self.metrics.counter(
+                    "migrated_bytes_total", lane, help="Bytes landed by completed copies"
+                ).inc(nbytes)
+            if attempts > 1:
+                self.metrics.counter(
+                    "migration_retries_total", lane,
+                    help="Copy attempts beyond the first",
+                ).inc(attempts - 1)
+            self.metrics.histogram(
+                "migration_copy_seconds", lane,
+                help="Lane occupancy per scheduled copy (virtual seconds)",
+            ).observe(end - start)
         return rec
 
     @property
     def lane_free_at(self) -> float:
         """Virtual time at which the helper thread's copy lane drains."""
         return self._lane_free_at
+
+    def queue_depth(self, now: float) -> int:
+        """Copies scheduled but not yet landed at ``now`` (the telemetry
+        plane's migration-queue-depth series).  The lane is serial and
+        records are appended in lane order, so scanning back from the
+        tail stops at the first drained copy."""
+        depth = 0
+        for rec in reversed(self.records):
+            if rec.end_time <= now:
+                break
+            depth += 1
+        return depth
 
     def available_at(self, obj_uid: int) -> float:
         """Virtual time at which the object's last migration completes.

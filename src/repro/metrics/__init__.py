@@ -1,0 +1,44 @@
+"""Telemetry plane: metrics registry, virtual-time samplers, placement
+audit log, and exporters.
+
+The subsystem mirrors the fault plane's architecture (PR 2): a frozen
+*description* (:class:`TelemetryConfig`) may ride on a ``RunSpec``; the
+runtime *mechanism* (:class:`Telemetry`) interposes on the machine only
+through explicit hook points (executor tick, ``ExecContext``
+attachment, ``attach_metrics`` on the HMS / migration engine /
+allocators); everything is **off by default** and costs a handful of
+``is not None`` checks when disabled.
+
+See ``docs/observability.md`` for the full tour.
+"""
+
+from repro.metrics.audit import AuditEntry, PlacementAuditLog
+from repro.metrics.export import (
+    export_as,
+    json_digest,
+    to_csv,
+    to_json,
+    to_prometheus,
+)
+from repro.metrics.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.metrics.samplers import SamplerSet, TimeSeriesSampler
+from repro.metrics.telemetry import Telemetry, TelemetryConfig, resolve_telemetry
+
+__all__ = [
+    "AuditEntry",
+    "PlacementAuditLog",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SamplerSet",
+    "TimeSeriesSampler",
+    "Telemetry",
+    "TelemetryConfig",
+    "resolve_telemetry",
+    "to_json",
+    "to_csv",
+    "to_prometheus",
+    "json_digest",
+    "export_as",
+]

@@ -1,0 +1,204 @@
+"""Exporters for one run's telemetry: canonical JSON, CSV, Prometheus.
+
+- :func:`to_json` — deterministic canonical JSON (sorted keys, no
+  whitespace drift) of the full export (metrics + samplers + audit),
+  plus :func:`json_digest` for the byte-identity regression tests.
+- :func:`to_csv` — one flat long-form CSV (easy to load into pandas /
+  a spreadsheet): metric rows and sampler points share a schema.
+- :func:`to_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` + samples) of the final registry state;
+  counters keep their names, histograms expand into
+  ``_bucket``/``_sum``/``_count`` as the format requires.
+
+All three accept either a :class:`~repro.metrics.telemetry.Telemetry`
+or the plain export dict it produces, so cached results (which only
+carry the dict) export identically to fresh runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import io
+import json
+import re
+from typing import Any, Mapping
+
+from repro.metrics.registry import Histogram, MetricsRegistry
+from repro.metrics.telemetry import Telemetry
+
+__all__ = [
+    "to_json",
+    "json_digest",
+    "to_csv",
+    "to_prometheus",
+    "EXPORT_FORMATS",
+    "export_as",
+]
+
+#: Prefix every exposed metric name carries in the Prometheus output.
+PROM_PREFIX = "repro_"
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+
+
+def _as_export(data: Telemetry | Mapping[str, Any]) -> dict[str, Any]:
+    if isinstance(data, Telemetry):
+        return data.export()
+    return dict(data)
+
+
+# ----------------------------------------------------------------------
+# Canonical JSON
+# ----------------------------------------------------------------------
+def to_json(data: Telemetry | Mapping[str, Any], indent: int | None = None) -> str:
+    """Canonical JSON: sorted keys, fixed separators, no NaN/Infinity."""
+    export = _as_export(data)
+    separators = (",", ":") if indent is None else (",", ": ")
+    return json.dumps(
+        export, sort_keys=True, separators=separators, indent=indent, allow_nan=False
+    )
+
+
+def json_digest(data: Telemetry | Mapping[str, Any]) -> str:
+    """SHA-256 of the canonical JSON — the regression tests' byte identity."""
+    return hashlib.sha256(to_json(data).encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# CSV
+# ----------------------------------------------------------------------
+_CSV_COLUMNS = ("record", "name", "labels", "field", "time", "value")
+
+
+def _labels_str(labels: Mapping[str, str]) -> str:
+    return ";".join(f"{k}={labels[k]}" for k in sorted(labels))
+
+
+def to_csv(data: Telemetry | Mapping[str, Any]) -> str:
+    """Long-form CSV: one row per metric sample / sampler point / audit entry."""
+    export = _as_export(data)
+    buf = io.StringIO()
+    w = csv.writer(buf, lineterminator="\n")
+    w.writerow(_CSV_COLUMNS)
+    for s in export.get("metrics", {}).get("series", []):
+        labels = _labels_str(s.get("labels", {}))
+        if s["kind"] == "histogram":
+            w.writerow(["metric", s["name"], labels, "sum", "", s["sum"]])
+            w.writerow(["metric", s["name"], labels, "count", "", s["count"]])
+            for b in s.get("buckets", []):
+                w.writerow(
+                    ["metric", s["name"], labels, f"le={b['le']}", "", b["count"]]
+                )
+        else:
+            w.writerow(["metric", s["name"], labels, s["kind"], "", s["value"]])
+    for series in export.get("samplers", []):
+        labels = _labels_str(series.get("labels", {}))
+        for t, v in zip(series["t"], series["v"]):
+            w.writerow(["sample", series["name"], labels, "", t, v])
+    for e in export.get("audit", {}).get("entries", []):
+        w.writerow(
+            [
+                "audit",
+                e["action"],
+                f"uid={e['obj_uid']};src={e['src']};dst={e['dst']};outcome={e['outcome']}",
+                json.dumps(e.get("inputs", {}), sort_keys=True),
+                e["time"],
+                e["size_bytes"],
+            ]
+        )
+    return buf.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition format
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    out = PROM_PREFIX + re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not _NAME_RE.fullmatch(out):  # pragma: no cover - prefix guarantees a letter
+        out = "_" + out
+    return out
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_labels(labels: Mapping[str, str], extra: Mapping[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{k}="{_prom_escape(str(merged[k]))}"' for k in sorted(merged)
+    )
+    return "{" + inner + "}"
+
+
+def _prom_float(v: float) -> str:
+    if v == float("inf"):
+        return "+Inf"
+    if v != v:  # pragma: no cover - NaN never produced
+        return "NaN"
+    return repr(float(v))
+
+
+def to_prometheus(data: Telemetry | MetricsRegistry) -> str:
+    """Final registry state in the Prometheus text exposition format.
+
+    Time series and the audit log have no place in a point-in-time
+    scrape; they live in the JSON/CSV exports.
+    """
+    registry = data.registry if isinstance(data, Telemetry) else data
+    by_name: dict[str, list] = {}
+    for inst in registry.series():
+        by_name.setdefault(inst.name, []).append(inst)
+
+    lines: list[str] = []
+    for name in sorted(by_name):
+        insts = by_name[name]
+        pname = _prom_name(name)
+        kind = insts[0].kind
+        help_text = registry.help_of(name)
+        if help_text:
+            lines.append(f"# HELP {pname} {_prom_escape(help_text)}")
+        lines.append(f"# TYPE {pname} {kind}")
+        for inst in insts:
+            labels = inst.labels_dict
+            if isinstance(inst, Histogram):
+                for bound, cum in inst.cumulative():
+                    lines.append(
+                        f"{pname}_bucket"
+                        f"{_prom_labels(labels, {'le': _prom_float(bound)})}"
+                        f" {cum}"
+                    )
+                lines.append(f"{pname}_sum{_prom_labels(labels)} {_prom_float(inst.sum)}")
+                lines.append(f"{pname}_count{_prom_labels(labels)} {inst.count}")
+            else:
+                lines.append(
+                    f"{pname}{_prom_labels(labels)} {_prom_float(inst.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+EXPORT_FORMATS = ("json", "csv", "prom")
+
+
+def export_as(data: Telemetry | Mapping[str, Any], fmt: str) -> str:
+    """Render telemetry in the named format (CLI ``--format`` values)."""
+    if fmt == "json":
+        return to_json(data, indent=2)
+    if fmt == "csv":
+        return to_csv(data)
+    if fmt in ("prom", "prometheus", "openmetrics"):
+        if isinstance(data, Telemetry):
+            return to_prometheus(data)
+        raise ValueError(
+            "prometheus export needs a live Telemetry (cached exports carry "
+            "no registry); use json or csv"
+        )
+    raise ValueError(f"unknown export format {fmt!r} (known: {EXPORT_FORMATS})")

@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
+    from repro.metrics.telemetry import Telemetry
 
 from repro.memory.cache import DRAMCacheModel
 from repro.memory.contention import ContentionModel
@@ -97,6 +98,10 @@ class ExecContext:
         self.hms = hms
         self.engine = engine
         self.config = config
+        #: Telemetry plane for this run (``None`` = disabled, the default).
+        #: Policies may read it to log audit entries or bump counters; all
+        #: machine-side instrumentation hangs off it automatically.
+        self.telemetry: "Telemetry | None" = None
         #: finish time of the latest dispatched task touching each object —
         #: the earliest dependency-safe start for a migration of that object.
         self.last_use_finish: dict[int, float] = {}
@@ -129,6 +134,13 @@ class ExecContext:
             self.hms.move(obj, device)
         else:
             self.hms.allocate(obj, device)
+        tel = self.telemetry
+        if tel is not None and tel.config.audit:
+            dst = device.name if isinstance(device, MemoryDevice) else device
+            tel.audit.log(
+                0.0, "initial", obj_uid=obj.uid, size_bytes=obj.size_bytes,
+                dst=dst, outcome="ok",
+            )
 
     def request_migration(
         self,
@@ -136,6 +148,7 @@ class ExecContext:
         device: MemoryDevice | str,
         now: float,
         earliest_start: float | None = None,
+        inputs: dict | None = None,
     ) -> MigrationRecord | None:
         """Move ``obj`` to ``device`` via the helper thread.
 
@@ -148,16 +161,32 @@ class ExecContext:
         retries exhausted); the placement is then rolled back so the
         object stays serviceable from where it already lives, and the
         returned record carries ``failed=True``.
+
+        ``inputs`` is opaque to the machine: it carries the benefit/cost
+        model context the policy based this request on, recorded verbatim
+        in the placement audit log when telemetry is enabled.
         """
+        tel = self.telemetry
+        audit = tel.audit if tel is not None and tel.config.audit else None
         src = self.hms.device_of(obj)
         dst_name = device.name if isinstance(device, MemoryDevice) else device
         if src.name == dst_name:
+            if audit is not None:
+                audit.log(
+                    now, "noop", obj_uid=obj.uid, size_bytes=obj.size_bytes,
+                    src=src.name, dst=dst_name, outcome="ok", inputs=inputs or {},
+                )
             return None
         dst = self.hms.dram if dst_name == self.hms.dram.name else self.hms.nvm
         # Clean eviction: an unmodified DRAM copy still matches its NVM
         # shadow, so demotion is a remap, not a copy.
         if dst.name == self.hms.nvm.name and not self.hms.is_dirty(obj):
             self.hms.move(obj, dst)
+            if audit is not None:
+                audit.log(
+                    now, "remap", obj_uid=obj.uid, size_bytes=obj.size_bytes,
+                    src=src.name, dst=dst.name, outcome="ok", inputs=inputs or {},
+                )
             return None
         safe = self.last_use_finish.get(obj.uid, 0.0)
         start = max(safe, earliest_start if earliest_start is not None else 0.0)
@@ -172,6 +201,13 @@ class ExecContext:
             self.hms.move(obj, src)
             if was_dirty:
                 self.hms.mark_dirty(obj)
+        if audit is not None:
+            audit.log(
+                now, "copy", obj_uid=obj.uid, size_bytes=obj.size_bytes,
+                src=src.name, dst=dst.name,
+                outcome="failed" if rec.failed else "ok",
+                attempts=rec.attempts, inputs=inputs or {},
+            )
         return rec
 
     def upcoming(self, window: int) -> list[Task]:
@@ -241,6 +277,7 @@ class Executor:
         config: ExecutorConfig | None = None,
         scheduler: SchedulingPolicy | None = None,
         injector: "FaultInjector | None" = None,
+        telemetry: "Telemetry | None" = None,
     ):
         self.hms = hms
         self.config = config or ExecutorConfig()
@@ -249,13 +286,48 @@ class Executor:
         #: leaves every timing and migration path byte-identical to a
         #: fault-free build.
         self.injector = injector
+        #: Optional telemetry plane (see :mod:`repro.metrics`); ``None``
+        #: costs one ``is not None`` check per hook point and nothing else.
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     def run(self, graph: TaskGraph, policy: PlacementPolicy) -> ExecutionTrace:
         cfg = self.config
         injector = self.injector
+        telemetry = self.telemetry
         engine = MigrationEngine(overhead_s=cfg.migration_overhead_s, injector=injector)
         ctx = ExecContext(graph, self.hms, engine, cfg)
+        ctx.telemetry = telemetry
+
+        # (free_at, worker_id) heap and (finish, tid) completion heap.
+        workers = [(0.0, w) for w in range(cfg.n_workers)]
+        heapq.heapify(workers)
+        completions: list[tuple[float, int]] = []
+        running: list[tuple[float, Task, frozenset[str]]] = []  # (finish, task, devices)
+        records: list[TaskRecord] = []
+
+        if telemetry is not None:
+            # Bind instruments before any placement so initial allocations
+            # are counted too.  The sampler callables read the live
+            # ``running`` list — exact at any virtual time because machine
+            # state only changes at events.
+            def busy_workers(t: float) -> float:
+                return float(sum(1 for f, _, _ in running if f > t))
+
+            def active_streams(device: str, t: float) -> int:
+                return sum(1 for f, _, devs in running if f > t and device in devs)
+
+            # Export-side uid normalization: uids come from a process-global
+            # counter, so digest equality across runs needs per-run ids.
+            telemetry.uid_map = {obj.uid: i for i, obj in enumerate(graph.objects)}
+            telemetry.begin_run(
+                self.hms,
+                engine,
+                cfg.n_workers,
+                busy_workers=busy_workers,
+                active_streams=active_streams,
+                bandwidth_share=cfg.contention.share,
+            )
 
         # Initial placement: the policy places what it wants; everything
         # else lands on the NVM backing tier.
@@ -273,12 +345,6 @@ class Executor:
             if indegree[t.tid] == 0:
                 self.scheduler.push(t)
 
-        # (free_at, worker_id) heap and (finish, tid) completion heap.
-        workers = [(0.0, w) for w in range(cfg.n_workers)]
-        heapq.heapify(workers)
-        completions: list[tuple[float, int]] = []
-        running: list[tuple[float, Task, frozenset[str]]] = []  # (finish, task, devices)
-        records: list[TaskRecord] = []
         n_done = 0
         n_total = len(graph.tasks)
         completed: set[int] = set()
@@ -308,6 +374,8 @@ class Executor:
 
         while n_done < n_total:
             free_at, wid = heapq.heappop(workers)
+            if telemetry is not None:
+                telemetry.tick(free_at)
             drain_completions(free_at)
             if injector is not None:
                 lost, evs = self._apply_capacity_losses(injector, engine, free_at)
@@ -382,6 +450,26 @@ class Executor:
                 residency=record.residency,
             )
             records.append(record)
+            if telemetry is not None:
+                reg = telemetry.registry
+                reg.counter(
+                    "tasks_completed_total", help="Tasks run to completion"
+                ).inc()
+                reg.histogram(
+                    "task_duration_seconds",
+                    help="End-to-end task time incl. overhead (virtual seconds)",
+                ).observe(record.duration)
+                if stall > 0:
+                    reg.histogram(
+                        "task_stall_seconds",
+                        help="Time spent waiting for in-flight migrations",
+                    ).observe(stall)
+                oh = overhead_before + overhead_after
+                if oh > 0:
+                    reg.counter(
+                        "policy_overhead_seconds_total",
+                        help="Software overhead charged by the placement policy",
+                    ).inc(oh)
 
             touched = frozenset(
                 self.hms.placement_of(o).device for o in task.accesses
@@ -398,6 +486,9 @@ class Executor:
             makespan=makespan,
             n_workers=cfg.n_workers,
         )
+        if telemetry is not None:
+            telemetry.end_run(makespan)
+            trace.telemetry = telemetry.export()
         if injector is not None:
             trace.faults = {
                 "plan": injector.plan.label(),
@@ -429,6 +520,8 @@ class Executor:
         device, emergency-evict displaced residents, and write dirty
         evictees back through the helper lane (critical copies — their
         DRAM contents would otherwise be lost)."""
+        tel = self.telemetry
+        audit = tel.audit if tel is not None and tel.config.audit else None
         lost = 0
         evictions = 0
         for loss in injector.pop_capacity_losses(now):
@@ -436,13 +529,29 @@ class Executor:
             applied, evicted = self.hms.lose_capacity(name, loss.lose_bytes)
             for obj, was_dirty in evicted:
                 if was_dirty:
-                    engine.schedule(
+                    rec = engine.schedule(
                         obj.uid,
                         obj.size_bytes,
                         self.hms.dram,
                         self.hms.nvm,
                         request_time=now,
                         critical=True,
+                    )
+                    if audit is not None:
+                        audit.log(
+                            now, "copy", obj_uid=obj.uid,
+                            size_bytes=obj.size_bytes,
+                            src=self.hms.dram.name, dst=self.hms.nvm.name,
+                            outcome="ok", attempts=rec.attempts,
+                            inputs={"reason": "emergency_writeback"},
+                        )
+                elif audit is not None:
+                    audit.log(
+                        now, "remap", obj_uid=obj.uid,
+                        size_bytes=obj.size_bytes,
+                        src=self.hms.dram.name, dst=self.hms.nvm.name,
+                        outcome="ok",
+                        inputs={"reason": "emergency_eviction"},
                     )
             injector.note_capacity_loss(loss, now, applied, len(evicted))
             lost += applied

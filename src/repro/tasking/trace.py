@@ -52,6 +52,11 @@ class ExecutionTrace:
     #: which keeps their summaries byte-identical to builds without the
     #: subsystem.
     faults: dict[str, Any] | None = None
+    #: Telemetry export (see :mod:`repro.metrics`): metric series,
+    #: time-series samples and the placement audit log.  ``None`` for
+    #: uninstrumented runs — same omitted-when-off convention as faults,
+    #: so disabling telemetry keeps summaries byte-identical.
+    telemetry: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -127,6 +132,12 @@ class ExecutionTrace:
         }
         if self.faults is not None:
             out["faults"] = self.faults
+        if self.telemetry is not None:
+            out["telemetry"] = {
+                "n_metric_series": len(self.telemetry["metrics"]["series"]),
+                "n_sampler_series": len(self.telemetry["samplers"]),
+                "n_audit_entries": self.telemetry["audit"]["n_entries"],
+            }
         return out
 
     def validate(self) -> None:

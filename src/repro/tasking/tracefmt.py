@@ -2,7 +2,8 @@
 
 - :func:`to_chrome_trace` emits the Trace Event Format consumed by
   ``chrome://tracing`` / Perfetto: one row per worker, one row for the
-  helper thread's copy lane, with stall/overhead sub-slices.
+  helper thread's copy lane, with stall/overhead sub-slices.  Telemetry
+  samplers (when the run was instrumented) become counter tracks.
 - :func:`ascii_gantt` renders a terminal-friendly timeline, handy inside
   examples and for eyeballing where migrations landed.
 """
@@ -91,6 +92,22 @@ def to_chrome_trace(trace: ExecutionTrace) -> str:
                     },
                 }
             )
+
+    if trace.telemetry is not None:
+        for s in trace.telemetry.get("samplers", []):
+            label = ",".join(f"{k}={v}" for k, v in sorted(s["labels"].items()))
+            name = f"{s['name']}{{{label}}}" if label else s["name"]
+            for t, v in zip(s["t"], s["v"]):
+                events.append(
+                    {
+                        "name": name,
+                        "cat": "telemetry",
+                        "ph": "C",
+                        "ts": t / US,
+                        "pid": 0,
+                        "args": {"value": v},
+                    }
+                )
 
     meta = [
         {

@@ -9,6 +9,7 @@ import statistics
 import pytest
 
 from repro.experiments.runner import run_workload
+from repro.experiments.spec import RunSpec
 from repro.memory.presets import nvm_bandwidth_scaled, nvm_latency_scaled
 
 pytestmark = [pytest.mark.integration, pytest.mark.slow]
@@ -27,11 +28,16 @@ def headline():
             ("bw-1/2", nvm_bandwidth_scaled(0.5)),
             ("lat-4x", nvm_latency_scaled(4.0)),
         ):
-            ref = run_workload(name, "dram-only", nvm, fast=False).makespan
+            def full(policy):
+                return run_workload(
+                    RunSpec(workload=name, policy=policy, nvm=nvm, fast=False)
+                ).makespan
+
+            ref = full("dram-only")
             rows[(name, label)] = {
-                "nvm": run_workload(name, "nvm-only", nvm, fast=False).makespan / ref,
-                "xmem": run_workload(name, "xmem", nvm, fast=False).makespan / ref,
-                "tahoe": run_workload(name, "tahoe", nvm, fast=False).makespan / ref,
+                "nvm": full("nvm-only") / ref,
+                "xmem": full("xmem") / ref,
+                "tahoe": full("tahoe") / ref,
             }
     return rows
 

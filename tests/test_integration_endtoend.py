@@ -8,6 +8,7 @@ from repro.experiments.e4_breakdown import run as run_e4
 from repro.experiments.e6_scaling import run as run_e6
 from repro.experiments.e9_ablations import run as run_e9
 from repro.experiments.runner import run_workload
+from repro.experiments.spec import RunSpec
 from repro.memory.presets import nvm_bandwidth_scaled, nvm_latency_scaled
 
 pytestmark = pytest.mark.integration
@@ -20,13 +21,16 @@ class TestPolicyMatrix:
     @pytest.mark.parametrize("workload", ROSTER)
     @pytest.mark.parametrize("policy", POLICY_MATRIX)
     def test_runs_clean(self, workload, policy):
-        tr = run_workload(workload, policy, nvm_bandwidth_scaled(0.5), fast=True)
+        tr = run_workload(
+            RunSpec(workload=workload, policy=policy, nvm=nvm_bandwidth_scaled(0.5))
+        )
         tr.validate()
         assert tr.makespan > 0
 
     def test_determinism_across_processes_worth(self):
-        a = run_workload("heat", "tahoe", nvm_bandwidth_scaled(0.5), fast=True)
-        b = run_workload("heat", "tahoe", nvm_bandwidth_scaled(0.5), fast=True)
+        spec = RunSpec(workload="heat", policy="tahoe", nvm=nvm_bandwidth_scaled(0.5))
+        a = run_workload(spec)
+        b = run_workload(spec)
         assert a.makespan == pytest.approx(b.makespan, rel=1e-12)
         assert a.migration_count == b.migration_count
 

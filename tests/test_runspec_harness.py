@@ -1,5 +1,5 @@
 """The RunSpec harness: spec identity, the parallel runner, the result
-cache, the policy registry, and the run_workload deprecation shim."""
+cache, the policy registry, and the RunSpec-only run_workload API."""
 
 from __future__ import annotations
 
@@ -226,24 +226,23 @@ class TestFailureContainment:
             run_many([self.BAD], workers=1, cache=False, strict=True)
 
 
-class TestRunWorkloadShim:
-    def test_spec_form_is_primary_and_warning_free(self, recwarn):
+class TestRunWorkloadAPI:
+    def test_spec_form_is_the_only_entry_point(self, recwarn):
         tr = run_workload(tiny_spec())
         assert tr.makespan > 0
         assert not [w for w in recwarn if w.category is DeprecationWarning]
 
-    def test_kwargs_form_warns_and_matches(self):
-        spec = tiny_spec()
-        with pytest.warns(DeprecationWarning, match="RunSpec"):
-            legacy = run_workload(
-                "heat", "tahoe", NVM, fast=True, workload_overrides=TINY
-            )
-        assert legacy.makespan == execute_spec(spec).makespan
+    def test_removed_kwargs_form_raises_with_migration_hint(self):
+        with pytest.raises(TypeError, match="RunSpec"):
+            run_workload("heat", "tahoe", NVM, fast=True)
 
-    def test_kwargs_form_requires_policy_and_nvm(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError):
-                run_workload("heat")
+    def test_extra_arguments_rejected_even_with_spec(self):
+        with pytest.raises(TypeError, match="RunSpec"):
+            run_workload(tiny_spec(), fast=True)
+
+    def test_bare_workload_string_rejected(self):
+        with pytest.raises(TypeError, match="RunSpec"):
+            run_workload("heat")
 
     def test_top_level_exports(self):
         import repro
