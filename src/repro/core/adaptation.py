@@ -57,7 +57,10 @@ class DeviationDetector:
         (evaluated at iteration boundaries)."""
         if iteration < 0:
             return False
-        st = self._types.setdefault(type_name, _TypeState())
+        st = self._types.get(type_name)
+        if st is None:  # setdefault would build the deque-backed state
+            st = self._types[type_name] = _TypeState()  # on every call
+
         fire = False
         if st.cur_iter is not None and iteration != st.cur_iter and st.cur_n > 0:
             mean = st.cur_sum / st.cur_n

@@ -6,17 +6,95 @@ exceeds real capacity) and solved with the classic DP, vectorized over
 the capacity axis with numpy; a value-density greedy is provided both as
 the ablation comparator and as the fallback for item counts where the DP
 table would be wasteful.
+
+The placement manager re-solves every adaptation epoch, usually with the
+same or an almost-identical instance, so the DP is incremental:
+
+- an exact-fingerprint memo returns the cached keep-mask when the whole
+  (values, sizes, capacity) instance repeats;
+- otherwise the solve warm-starts from the previous instance's DP rows —
+  the DP state after processing items ``[0..k)`` depends only on that
+  item prefix, so the longest common prefix of the candidate arrays can
+  be skipped bit-for-bit and only the changed suffix recomputed;
+- the backtracking ``keep`` table is bit-packed (one bit per DP cell
+  instead of a numpy bool byte), cutting its memory traffic 8x;
+- instances whose DP table would exceed :data:`AUTO_GREEDY_CELLS` cells
+  are routed to :func:`greedy_bounded`, whose value is provably >= 1/2 of
+  the optimum (density greedy vs. best single item, whichever is better).
+
+All cached paths reproduce the from-scratch solve exactly: identical
+floating-point operations in identical order on identical inputs.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
 from repro.util.validation import require
 
-__all__ = ["solve_knapsack", "greedy_by_density"]
+__all__ = [
+    "solve_knapsack",
+    "greedy_by_density",
+    "greedy_bounded",
+    "clear_solver_cache",
+    "solver_cache_stats",
+    "AUTO_GREEDY_CELLS",
+]
+
+#: DP-table cell budget (candidate items x capacity units).  Above it the
+#: exact table stops paying for itself and the 1/2-approximate greedy is
+#: used instead.  Far beyond anything the experiment suite produces (the
+#: tier-1 instances are ~1e5 cells), so routing never changes their results.
+AUTO_GREEDY_CELLS = 4_000_000
+
+#: Warm-start checkpoint spacing: a DP row snapshot is kept every this
+#: many items, bounding re-solve work after a prefix change to at most
+#: one checkpoint interval plus the changed suffix.
+_CHECKPOINT_EVERY = 16
+
+_MEMO_MAX = 128
+
+
+class _SolveState:
+    """Incremental DP state for one capacity geometry (cap_units)."""
+
+    __slots__ = ("w", "v", "checkpoints", "keep_rows")
+
+    def __init__(self) -> None:
+        self.w = np.empty(0, dtype=np.int64)
+        self.v = np.empty(0, dtype=np.float64)
+        #: item index k -> copy of the dp row after processing items [0..k)
+        self.checkpoints: dict[int, np.ndarray] = {}
+        #: per-item bit-packed keep row (uint8, big-endian bit order)
+        self.keep_rows: list[np.ndarray] = []
+
+
+#: exact instance fingerprint -> keep-mask (insertion-ordered LRU)
+_memo: dict[Any, list[bool]] = {}
+#: cap_units -> previous solve's DP state for warm starts
+_states: dict[int, _SolveState] = {}
+_stats = {
+    "exact_hits": 0,
+    "solves": 0,
+    "warm_started_rows": 0,
+    "computed_rows": 0,
+    "greedy_routed": 0,
+}
+
+
+def clear_solver_cache() -> None:
+    """Drop all memoized DP state (tests and long-lived processes)."""
+    _memo.clear()
+    _states.clear()
+    for k in _stats:
+        _stats[k] = 0
+
+
+def solver_cache_stats() -> dict[str, int]:
+    """Counters for the memo/warm-start machinery (observability)."""
+    return dict(_stats)
 
 
 def solve_knapsack(
@@ -24,12 +102,17 @@ def solve_knapsack(
     sizes: Sequence[int],
     capacity: int,
     granularity: int = 512,
+    use_cache: bool = True,
 ) -> list[bool]:
     """Exact (up to discretization) 0/1 knapsack; returns a keep-mask.
 
     Items with non-positive value or size exceeding capacity are never
     taken.  ``granularity`` bounds the DP table's capacity axis; sizes are
     rounded *up* so the selection always fits the true capacity.
+
+    ``use_cache=False`` bypasses both the exact-fingerprint memo and the
+    warm-start state (the from-scratch reference path; the property tests
+    compare the two).
     """
     n = len(values)
     require(len(sizes) == n, "values and sizes must have equal length")
@@ -41,34 +124,124 @@ def solve_knapsack(
     if cap_units == 0:
         return [False] * n
 
-    # Candidate filter: positive value and fits at all.
-    idx = [
-        i
-        for i in range(n)
-        if values[i] > 0 and 0 < sizes[i] <= capacity
-    ]
-    if not idx:
+    # Candidate filter: positive value and fits at all.  Vectorized — the
+    # exact-memo fast path below still needs (idx, w, v) for its
+    # fingerprint, so this runs on every call, hit or miss.
+    v_all = np.asarray(values, dtype=np.float64)
+    s_all = np.asarray(sizes, dtype=np.int64)
+    idx_arr = np.flatnonzero((v_all > 0) & (s_all > 0) & (s_all <= capacity))
+    if idx_arr.size == 0:
         return [False] * n
 
-    w = np.array([-(-int(sizes[i]) // unit) for i in idx], dtype=np.int64)  # ceil
-    v = np.array([values[i] for i in idx], dtype=np.float64)
+    if idx_arr.size * cap_units > AUTO_GREEDY_CELLS:
+        _stats["greedy_routed"] += 1
+        return greedy_bounded(values, sizes, capacity)
 
-    dp = np.zeros(cap_units + 1, dtype=np.float64)
-    keep = np.zeros((len(idx), cap_units + 1), dtype=bool)
-    for k in range(len(idx)):
+    idx = idx_arr.tolist()
+    w = -(-s_all[idx_arr] // unit)  # ceil; floor-div + negate, as int math
+    v = v_all[idx_arr]
+
+    if not use_cache:
+        keep_rows = _dp_rows(w, v, cap_units, state=None)
+        return _backtrack(keep_rows, idx, w, n, cap_units)
+
+    key = (int(capacity), int(granularity), n, tuple(idx), w.tobytes(), v.tobytes())
+    cached = _memo.get(key)
+    if cached is not None:
+        # LRU bump: reinsert at the back of the insertion order.
+        _memo[key] = _memo.pop(key)
+        _stats["exact_hits"] += 1
+        return list(cached)
+
+    _stats["solves"] += 1
+    state = _states.get(cap_units)
+    if state is None:
+        state = _states[cap_units] = _SolveState()
+    keep_rows = _dp_rows(w, v, cap_units, state=state)
+    mask = _backtrack(keep_rows, idx, w, n, cap_units)
+
+    _memo[key] = mask
+    while len(_memo) > _MEMO_MAX:
+        _memo.pop(next(iter(_memo)))
+    return list(mask)
+
+
+def _dp_rows(
+    w: np.ndarray, v: np.ndarray, cap_units: int, state: _SolveState | None
+) -> list[np.ndarray]:
+    """Run the DP, returning one bit-packed keep row per item.
+
+    With ``state``, rows for the longest common (w, v) prefix with the
+    previous instance are reused and the DP resumes from the nearest
+    row checkpoint — bitwise identical to a cold solve because the DP
+    after ``k`` items is a pure function of the first ``k`` items.
+    """
+    m = len(w)
+    start = 0
+    keep_rows: list[np.ndarray] = []
+    dp = None
+    if state is not None and len(state.keep_rows) > 0:
+        lim = min(m, len(state.w))
+        if lim:
+            diff = np.flatnonzero(
+                (state.w[:lim] != w[:lim]) | (state.v[:lim] != v[:lim])
+            )
+            prefix = int(diff[0]) if diff.size else lim
+        else:
+            prefix = 0
+        best_ckpt = 0
+        for k in state.checkpoints:
+            if best_ckpt < k <= prefix:
+                best_ckpt = k
+        if best_ckpt:
+            start = best_ckpt
+            dp = state.checkpoints[best_ckpt].copy()
+            keep_rows = state.keep_rows[:best_ckpt]
+            _stats["warm_started_rows"] += best_ckpt
+    if dp is None:
+        dp = np.zeros(cap_units + 1, dtype=np.float64)
+
+    checkpoints = {}
+    if state is not None:
+        checkpoints = {k: r for k, r in state.checkpoints.items() if k <= start}
+
+    row_bool = np.zeros(cap_units + 1, dtype=bool)
+    for k in range(start, m):
         wk, vk = int(w[k]), v[k]
         if wk > cap_units:
-            continue
-        cand = dp[:-wk] + vk if wk > 0 else dp + vk
-        better = cand > dp[wk:]
-        keep[k, wk:] = better
-        dp[wk:] = np.where(better, cand, dp[wk:])
+            keep_rows.append(np.zeros((cap_units + 8) >> 3, dtype=np.uint8))
+        else:
+            cand = dp[:-wk] + vk if wk > 0 else dp + vk
+            better = cand > dp[wk:]
+            row_bool[:wk] = False
+            row_bool[wk:] = better
+            keep_rows.append(np.packbits(row_bool))
+            dp[wk:] = np.where(better, cand, dp[wk:])
+        _stats["computed_rows"] += 1
+        if (k + 1) % _CHECKPOINT_EVERY == 0:
+            checkpoints[k + 1] = dp.copy()
 
-    # Backtrack.
+    if state is not None:
+        state.w = w
+        state.v = v
+        state.checkpoints = checkpoints
+        state.keep_rows = keep_rows
+    return keep_rows
+
+
+def _backtrack(
+    keep_rows: list[np.ndarray],
+    idx: list[int],
+    w: np.ndarray,
+    n: int,
+    cap_units: int,
+) -> list[bool]:
+    """Recover the keep-mask from the bit-packed rows."""
     mask = [False] * n
     c = cap_units
     for k in range(len(idx) - 1, -1, -1):
-        if keep[k, c]:
+        row = keep_rows[k]
+        if (row[c >> 3] >> (7 - (c & 7))) & 1:
             mask[idx[k]] = True
             c -= int(w[k])
     return mask
@@ -82,14 +255,46 @@ def greedy_by_density(
     """Value-per-byte greedy fill (the ablation comparator)."""
     n = len(values)
     require(len(sizes) == n, "values and sizes must have equal length")
-    order = sorted(
-        (i for i in range(n) if values[i] > 0 and 0 < sizes[i] <= capacity),
-        key=lambda i: (-(values[i] / sizes[i]), sizes[i], i),
-    )
+    cand = [i for i in range(n) if values[i] > 0 and 0 < sizes[i] <= capacity]
     mask = [False] * n
+    if not cand:
+        return mask
+    # Same ordering as sorted(key=(-v/s, s, i)): np.lexsort is stable and
+    # ``cand`` is already index-ascending, so ties fall back to size, then
+    # index, with identical float comparisons.
+    v = np.array([values[i] for i in cand], dtype=np.float64)
+    s = np.array([float(sizes[i]) for i in cand], dtype=np.float64)
+    order = np.lexsort((s, -(v / s)))
     remaining = int(capacity)
-    for i in order:
+    for j in order:
+        i = cand[j]
         if sizes[i] <= remaining:
             mask[i] = True
             remaining -= int(sizes[i])
+    return mask
+
+
+def greedy_bounded(
+    values: Sequence[float],
+    sizes: Sequence[int],
+    capacity: int,
+) -> list[bool]:
+    """Density greedy with the classic best-single-item fix.
+
+    ``max(greedy value, best single feasible item)`` is >= 1/2 of the 0/1
+    optimum (the greedy fill plus the first rejected item bound the LP
+    relaxation), which plain density greedy alone cannot guarantee.  Used
+    as the auto-route target for instances too large for the exact DP.
+    """
+    mask = greedy_by_density(values, sizes, capacity)
+    greedy_value = sum(values[i] for i in range(len(values)) if mask[i])
+    best_i = -1
+    best_v = 0.0
+    for i in range(len(values)):
+        if values[i] > best_v and 0 < sizes[i] <= capacity:
+            best_i, best_v = i, values[i]
+    if best_v > greedy_value and best_i >= 0:
+        single = [False] * len(values)
+        single[best_i] = True
+        return single
     return mask

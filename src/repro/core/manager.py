@@ -26,11 +26,12 @@ Every piece of software work is charged to the worker as overhead, so the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.baselines.policies import BasePolicy
 from repro.core.adaptation import DeviationDetector
 from repro.core.initial import initial_placement
-from repro.core.lookahead import first_use_offsets
+from repro.core.lookahead import first_use_offsets_split
 from repro.core.models import ObjectStats, TypeModel
 from repro.core.placement import ObjectDemand, PlacementPlan, PlanConfig, make_plan
 from repro.profiling.calibration import CalibrationResult, calibrate
@@ -115,6 +116,10 @@ class DataManagerPolicy(BasePolicy):
         self._watch: dict[str, tuple[float, int]] | None = None
         self._replan_interval = self.config.decide_every
         self._decision_overhead = 0.0
+        self._by_uid: dict[int, Any] | None = None
+        #: tid -> (model, model.n_profiles, flattened access rows); see
+        #: :meth:`_demand_stats_split`.
+        self._proj_cache: dict[int, tuple[TypeModel, int, list[tuple]]] = {}
         self.stats: dict[str, float] = {}
 
     # ------------------------------------------------------------------
@@ -149,9 +154,26 @@ class DataManagerPolicy(BasePolicy):
         if ctx.engine.injector is not None:
             self.stats["migrations_failed"] = 0
             self.stats["migrations_recovered"] = 0
+        # Per-run object index: the graph's object set is fixed once the
+        # run starts (partitioning happens before execution), so the
+        # uid -> object map is built once instead of per replan/enforce.
+        self._by_uid = {o.uid: o for o in ctx.graph.objects}
+        self._proj_cache = {}
         self.calib = self._given_calibration or self._platform_calibration(ctx)
         if self.config.enable_initial_placement:
-            chosen = initial_placement(ctx.graph.objects, ctx.dram.capacity_bytes)
+            # The chosen set is a pure function of the graph's object list
+            # and the DRAM budget; graphs are interned across runs, so the
+            # greedy fill is cached on the graph keyed by capacity.
+            memo = getattr(ctx.graph, "_initial_placement_memo", None)
+            if memo is None:
+                memo = ctx.graph._initial_placement_memo = {}
+            # The graph version guards against post-run graph mutation.
+            key = (ctx.graph._version, ctx.dram.capacity_bytes)
+            chosen = memo.get(key)
+            if chosen is None:
+                chosen = memo[key] = initial_placement(
+                    ctx.graph.objects, ctx.dram.capacity_bytes
+                )
             for obj in ctx.graph.objects:
                 if obj.uid in chosen and ctx.hms.dram_fits(obj.size_bytes):
                     ctx.place_initial(obj, ctx.dram)
@@ -250,6 +272,110 @@ class DataManagerPolicy(BasePolicy):
                 )
         return stats, horizon
 
+    def _demand_stats_split(
+        self, tasks: list[Task], window_len: int, need_window: bool = True
+    ) -> tuple[
+        tuple[dict[int, ObjectStats], float], tuple[dict[int, ObjectStats], float]
+    ]:
+        """(window, full-horizon) demand projections from a single pass.
+
+        Accumulation over the window prefix is exactly the op sequence an
+        independent :meth:`_demand_stats` pass over ``tasks[:window_len]``
+        would run, so snapshotting the accumulators at the boundary (all
+        scalar fields — a shallow copy) yields bitwise-identical window
+        stats; the originals then keep accumulating into the full-horizon
+        projection.  Halves the model lookups and ``ObjectStats.add``
+        calls of the old two-pass replan.
+
+        ``need_window=False`` skips the boundary snapshot (a per-object
+        copy) when the caller will not build a window-scoped plan; the
+        snapshot has no effect on the full-horizon accumulators, so the
+        global result is unchanged.
+        """
+        stats: dict[int, ObjectStats] = {}
+        horizon = 0.0
+        win_stats: dict[int, ObjectStats] = {}
+        win_horizon = 0.0
+        model_for = self._model_for
+        stats_get = stats.get
+        proj_cache = self._proj_cache
+        proj_get = proj_cache.get
+        # Out-of-model fallback row: field-for-field what an empty
+        # ``SlotStats()`` reports (confidence 1.0, everything else zero).
+        empty_row = (0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0)
+        for i, t in enumerate(tasks):
+            if i == window_len and need_window:
+                win_stats = {
+                    uid: ObjectStats(
+                        st.uid,
+                        st.size_bytes,
+                        st.loads,
+                        st.stores,
+                        st.misses,
+                        st.bw_demand,
+                        st.n_tasks,
+                        st.confidence,
+                        st.mem_seconds,
+                        st.dram_frac,
+                    )
+                    for uid, st in stats.items()
+                }
+                win_horizon = horizon
+            model = model_for(t.type_name)
+            if model is None:
+                continue
+            horizon += model.mean_duration
+            # A task's flattened (uid, size, slot row) list is invariant
+            # while its type model version (n_profiles) holds, and each
+            # task is re-projected by every later replan — memoize it.
+            n_profiles = model.n_profiles
+            entry = proj_get(t.tid)
+            if (
+                entry is not None
+                and entry[0] is model
+                and entry[1] == n_profiles
+            ):
+                task_rows = entry[2]
+            else:
+                rows = model.slot_rows()
+                n_slots = len(rows)
+                task_rows = []
+                for j, obj in enumerate(t.accesses):
+                    if n_slots:
+                        row = rows[j] if j < n_slots else rows[-1]
+                    else:
+                        row = empty_row
+                    task_rows.append((obj.uid, obj.size_bytes) + row)
+                proj_cache[t.tid] = (model, n_profiles, task_rows)
+            for uid, size_bytes, loads, stores, misses, bw, conf, mem_s, dfrac in task_rows:
+                st = stats_get(uid)
+                if st is None:
+                    st = stats[uid] = ObjectStats(
+                        uid=uid, size_bytes=size_bytes
+                    )
+                # Inlined ObjectStats.add — identical statements in
+                # identical order, so the accumulators stay bitwise equal.
+                new_misses = st.misses + misses
+                if new_misses > 0:
+                    st.confidence = (
+                        st.confidence * st.misses + conf * misses
+                    ) / new_misses
+                new_mem = st.mem_seconds + mem_s
+                if new_mem > 0:
+                    st.dram_frac = (
+                        st.dram_frac * st.mem_seconds + dfrac * mem_s
+                    ) / new_mem
+                st.mem_seconds = new_mem
+                st.loads += loads
+                st.stores += stores
+                st.misses = new_misses
+                if bw > st.bw_demand:
+                    st.bw_demand = bw
+                st.n_tasks += 1
+        if len(tasks) <= window_len:
+            win_stats, win_horizon = stats, horizon
+        return (win_stats, win_horizon), (stats, horizon)
+
     def _duration_of(self, task: Task) -> float:
         model = self._model_for(task.type_name)
         return model.mean_duration if model is not None else 1e-4
@@ -341,30 +467,104 @@ class DataManagerPolicy(BasePolicy):
 
         remaining = ctx.remaining()
         window = remaining[: cfg.lookahead_tasks]
-        by_uid = {o.uid: o for o in ctx.graph.objects}
         n_workers = ctx.config.n_workers
 
         plans: list[tuple[float, PlacementPlan]] = []
         overhead = cfg.per_plan_fixed_overhead_s
 
-        def build(scope: str, tasks: list[Task]) -> tuple[PlacementPlan, float] | None:
-            stats, horizon = self._demand_stats(tasks, ctx)
+        # Endgame: once the window covers every remaining task the local
+        # search would rebuild the identical plan and lose the stable-sort
+        # tie to the global scope, so only its bookkeeping overhead is
+        # charged and the duplicate solve (and the window-boundary stats
+        # snapshot feeding it) is skipped.
+        scopes_coincide = (
+            len(remaining) <= cfg.lookahead_tasks
+            and cfg.enable_global_search
+            and cfg.enable_local_search
+        )
+
+        need_window = cfg.enable_local_search and not scopes_coincide
+
+        # The projection pass (demand stats + first-use offsets) is a pure
+        # function of the remaining task sequence, the per-type model
+        # content, and the worker count.  Deterministic experiment runs on
+        # interned graphs replay the exact same replan sequence, so the
+        # pass is memoized on the graph keyed by those inputs — by model
+        # *content* (slot rows + mean duration), not object identity,
+        # because ``id()`` values can be recycled across runs.
+        proj_memo = getattr(ctx.graph, "_replan_projection_memo", None)
+        if proj_memo is None:
+            proj_memo = ctx.graph._replan_projection_memo = {}
+        model_sig = []
+        for tname in {t.type_name for t in remaining}:
+            m = self._model_for(tname)
+            if m is None:
+                model_sig.append((tname, 0.0, None))
+            else:
+                model_sig.append((tname, m.mean_duration, tuple(m.slot_rows())))
+        model_sig.sort(key=lambda e: e[0])
+        proj_key = (
+            ctx.graph._version,
+            tuple(t.tid for t in remaining),
+            cfg.lookahead_tasks,
+            need_window,
+            n_workers,
+            tuple(model_sig),
+        )
+        entry = proj_memo.get(proj_key)
+        if entry is None:
+            # Both scopes share one pass over the remaining tasks: the
+            # window is a prefix, so its demand stats and first-use
+            # offsets fall out of the full-horizon accumulation bitwise
+            # unchanged.
+            splits = self._demand_stats_split(
+                remaining, cfg.lookahead_tasks, need_window=need_window
+            )
+            # Type mean durations are fixed for the duration of one
+            # replan, so the start-offset pass resolves each type once
+            # instead of chasing the model dict per task.
+            dur_memo: dict[str, float] = {}
+            duration_of = self._duration_of
+
+            def memo_duration_of(task: Task) -> float:
+                d = dur_memo.get(task.type_name)
+                if d is None:
+                    d = dur_memo[task.type_name] = duration_of(task)
+                return d
+
+            offset_split = first_use_offsets_split(
+                remaining, cfg.lookahead_tasks, memo_duration_of, n_workers
+            )
+            entry = proj_memo[proj_key] = (splits, offset_split)
+            while len(proj_memo) > 256:
+                proj_memo.pop(next(iter(proj_memo)))
+        (
+            ((local_stats, local_horizon), (global_stats, global_horizon)),
+            (local_offsets, global_offsets),
+        ) = entry
+        resident_uids = ctx.hms.dram_resident_uids()
+        dram_capacity = ctx.dram.capacity_bytes
+        dram_used = ctx.hms.dram_used_bytes()
+
+        def build(
+            scope: str,
+            stats: dict[int, ObjectStats],
+            horizon: float,
+            offsets: dict[int, float],
+            tasks: list[Task],
+        ) -> tuple[PlacementPlan, float] | None:
             if not stats:
                 return None
-            offsets = first_use_offsets(tasks, self._duration_of, n_workers)
+            offsets_get = offsets.get
             demands = [
-                ObjectDemand(
-                    stats=st,
-                    in_dram=ctx.hms.in_dram(by_uid[uid]),
-                    first_use_offset=offsets.get(uid, 0.0),
-                )
+                ObjectDemand(st, uid in resident_uids, offsets_get(uid, 0.0))
                 for uid, st in stats.items()
             ]
             plan = make_plan(
                 scope,
                 demands,
-                ctx.dram.capacity_bytes,
-                ctx.hms.dram_used_bytes(),
+                dram_capacity,
+                dram_used,
                 ctx.nvm,
                 ctx.dram,
                 self.calib,
@@ -373,8 +573,6 @@ class DataManagerPolicy(BasePolicy):
                 * (self._parallel_slack(tasks, ctx) if cfg.plan.use_parallel_slack else 1.0),
             )
             return plan, max(horizon / max(1, n_workers), 1e-9)
-
-        resident_uids = {o.uid for o in ctx.hms.objects_in_dram()}
 
         def delta_gain(plan: PlacementPlan) -> float:
             """What enforcing the plan buys *over doing nothing*: the plan
@@ -388,13 +586,17 @@ class DataManagerPolicy(BasePolicy):
             return plan.predicted_gain - current
 
         if cfg.enable_global_search:
-            built = build("global", remaining)
+            built = build(
+                "global", global_stats, global_horizon, global_offsets, remaining
+            )
             if built is not None:
                 plan, horizon = built
                 plans.append((delta_gain(plan) / horizon, plan))
                 overhead += len(plan.weights) * cfg.per_demand_plan_overhead_s
-        if cfg.enable_local_search:
-            built = build("local", window)
+                if scopes_coincide:
+                    overhead += len(plan.weights) * cfg.per_demand_plan_overhead_s
+        if cfg.enable_local_search and not scopes_coincide:
+            built = build("local", local_stats, local_horizon, local_offsets, window)
             if built is not None:
                 plan, horizon = built
                 plans.append((delta_gain(plan) / horizon, plan))
@@ -454,7 +656,9 @@ class DataManagerPolicy(BasePolicy):
         from repro.memory.migration import copy_time
 
         cfg = self.config
-        by_uid = {o.uid: o for o in ctx.graph.objects}
+        by_uid = self._by_uid
+        if by_uid is None:
+            by_uid = self._by_uid = {o.uid: o for o in ctx.graph.objects}
         overhead = 0.0
         tel = ctx.telemetry
         audit = tel.audit if tel is not None and tel.config.audit else None

@@ -147,10 +147,44 @@ class TypeModel:
             return SlotStats()
         return self.slots[i] if i < len(self.slots) else self.slots[-1]
 
+    def slot_rows(self) -> list[tuple[float, float, float, float, float, float, float]]:
+        """Per-slot ``(loads, stores, misses, bw_demand, confidence,
+        mem_seconds, dram_frac)`` tuples — the demand-projection loop's
+        read set, flattened once per model version.
 
-@dataclass
+        Slots only mutate through :meth:`observe`, which bumps
+        ``n_profiles``, so the memo is keyed by it; the ``confidence``
+        property (a divide + variance read per evaluation) is thereby
+        computed once per slot per model version instead of once per
+        projected task access.
+        """
+        cached = self.__dict__.get("_slot_rows")
+        if cached is not None and cached[0] == self.n_profiles:
+            return cached[1]
+        rows = [
+            (
+                s.loads,
+                s.stores,
+                s.misses,
+                s.bw_demand,
+                s.confidence,
+                s.mem_seconds,
+                s.dram_frac,
+            )
+            for s in self.slots
+        ]
+        self.__dict__["_slot_rows"] = (self.n_profiles, rows)
+        return rows
+
+
+@dataclass(slots=True)
 class ObjectStats:
-    """Model-projected demand on one object over some horizon of tasks."""
+    """Model-projected demand on one object over some horizon of tasks.
+
+    ``slots=True``: tens of thousands are built and mutated per replan
+    pass, and slot storage makes both construction and the accumulator
+    attribute writes measurably cheaper than ``__dict__`` entries.
+    """
 
     uid: int
     size_bytes: int

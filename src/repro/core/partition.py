@@ -81,4 +81,5 @@ def partition_graph(graph: TaskGraph, max_chunk_bytes: int) -> TaskGraph:
         for chunk in chunks:
             graph._objects[chunk.uid] = chunk
     graph._partitioned_at = max_chunk_bytes  # type: ignore[attr-defined]
+    graph.invalidate_caches()
     return graph

@@ -20,12 +20,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.benefit import benefit_bandwidth, benefit_latency
-from repro.core.cost import eviction_cost, migration_cost
+from repro.core.cost import eviction_cost
 from repro.core.knapsack import greedy_by_density, solve_knapsack
+from repro.memory.migration import DEFAULT_MIGRATION_OVERHEAD_S, copy_time
 from repro.core.sensitivity import Sensitivity
 from repro.core.models import ObjectStats
 from repro.memory.device import MemoryDevice
 from repro.profiling.calibration import CalibrationResult
+from repro.util.validation import require
 
 __all__ = ["PlanConfig", "ObjectDemand", "PlacementPlan", "make_plan"]
 
@@ -58,7 +60,7 @@ class PlanConfig:
     use_confidence: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class ObjectDemand:
     """One object's projected demand over the planning horizon."""
 
@@ -106,17 +108,6 @@ def _speed_ratio_lat(
     return max(1e-3, min(1.0, t_dram / t_nvm))
 
 
-def _time_gain(st: ObjectStats, r: float) -> float:
-    """NVM-time minus DRAM-time from the measured memory-active seconds.
-
-    ``st.dram_frac`` of the active time was observed with the object
-    DRAM-resident (and is scaled up to its NVM equivalent); the rest was
-    observed on NVM directly.
-    """
-    t_nvm = st.mem_seconds * (1.0 - st.dram_frac) + st.mem_seconds * st.dram_frac / r
-    return t_nvm * (1.0 - r)
-
-
 def object_weight(
     demand: ObjectDemand,
     nvm: MemoryDevice,
@@ -133,53 +124,130 @@ def object_weight(
     plus — when DRAM is nearly full (``dram_pressure`` ~ 1) — the eviction
     of an equal volume of victims.
     """
-    st = demand.stats
-    sens = st.sensitivity(calib.peak_of(nvm), cfg.t1, cfg.t2)
-    if cfg.use_miss_counter and st.mem_seconds > 0:
-        # Time-based estimator: benefit = (NVM-resident memory-active
-        # time) x (1 - DRAM/NVM speed ratio).  Exact for both laws
-        # regardless of memory-level parallelism, because the measured
-        # active time already embeds the overlap the count-based laws
-        # cannot see.
-        total = st.loads + st.stores
-        lf = st.loads / total if total > 0 else 1.0
-        if not cfg.distinguish_rw:
-            lf = 1.0  # price everything at read characteristics (Eqs. 2/3)
-        r_bw = _speed_ratio_bw(lf, dram, nvm)
-        r_lat = _speed_ratio_lat(lf, dram, nvm, calib)
-        bw_gain = _time_gain(st, r_bw) * calib.cf_bw
-        lat_gain = _time_gain(st, r_lat) * calib.cf_lat
-    else:
-        # Count-based laws (Eqs. 2-5): the paper's loads/stores-only
-        # configuration, corrected by the raw CF factors and the MLP
-        # discount on the latency law.
-        eff_loads, eff_stores = st.effective_counts(cfg.use_miss_counter)
-        cf_bw = calib.bandwidth_factor(False)
-        cf_lat = calib.latency_factor(False) * calib.mlp_discount(st.bw_demand)
-        bw_gain = benefit_bandwidth(
-            eff_loads, eff_stores, nvm, dram, cf_bw, cfg.distinguish_rw
-        )
-        lat_gain = benefit_latency(
-            eff_loads, eff_stores, nvm, dram, cf_lat, cfg.distinguish_rw
-        )
-    if sens is Sensitivity.BANDWIDTH:
-        bft = bw_gain
-    elif sens is Sensitivity.LATENCY:
-        bft = lat_gain
-    else:
-        bft = max(bw_gain, lat_gain)
-    bft *= benefit_scale
-    if cfg.use_confidence:
-        bft *= st.confidence
-    if demand.in_dram:
-        return bft
-    cost = migration_cost(
-        st.size_bytes, nvm, dram, overlap_window_s=demand.first_use_offset
-    )
-    extra = 0.0
-    if dram_pressure > 0.0:
-        extra = dram_pressure * eviction_cost([st.size_bytes], dram, nvm)
-    return bft - cfg.cost_margin * (cost + extra)
+    return _weights_for(
+        [demand], nvm, dram, calib, cfg, dram_pressure, benefit_scale
+    )[0]
+
+
+def _weights_for(
+    demands: list[ObjectDemand],
+    nvm: MemoryDevice,
+    dram: MemoryDevice,
+    calib: CalibrationResult,
+    cfg: PlanConfig,
+    dram_pressure: float,
+    benefit_scale: float = 1.0,
+) -> list[float]:
+    """Vector form of :func:`object_weight` — the planner's hot loop.
+
+    Per-plan invariants (peak bandwidth, CF factors, config flags) are
+    hoisted out of the loop, and the device speed ratios — functions of
+    the load fraction alone once the devices are fixed — are memoized per
+    distinct ``lf``.  Identical arithmetic to the scalar form, so the
+    weights are bitwise equal.
+    """
+    peak = calib.peak_of(nvm)
+    t1, t2 = cfg.t1, cfg.t2
+    use_miss = cfg.use_miss_counter
+    distinguish = cfg.distinguish_rw
+    use_conf = cfg.use_confidence
+    margin = cfg.cost_margin
+    cf_bw_time, cf_lat_time = calib.cf_bw, calib.cf_lat
+    raw_cf_bw: float | None = None
+    raw_cf_lat = 0.0
+    bw_ratio: dict[float, float] = {}
+    lat_ratio: dict[float, float] = {}
+    mig_ct: dict[int, float] = {}
+    ev_ct: dict[int, float] = {}
+    bandwidth_sens, latency_sens = Sensitivity.BANDWIDTH, Sensitivity.LATENCY
+    # Inline classify_bandwidth: validate the thresholds once, hoist the
+    # two threshold products (same operands, so the comparisons below are
+    # bitwise the ones classify_bandwidth would make per object).
+    require(0.0 < t2 < t1 <= 1.5, f"need 0 < t2 < t1, got t1={t1}, t2={t2}")
+    t1_peak = t1 * peak
+    t2_peak = t2 * peak
+
+    weights: list[float] = []
+    for demand in demands:
+        st = demand.stats
+        bw_d = st.bw_demand
+        if bw_d >= t1_peak:
+            sens = bandwidth_sens
+        elif bw_d <= t2_peak:
+            sens = latency_sens
+        else:
+            sens = None  # mixed
+        if use_miss and st.mem_seconds > 0:
+            # Time-based estimator: benefit = (NVM-resident memory-active
+            # time) x (1 - DRAM/NVM speed ratio).  Exact for both laws
+            # regardless of memory-level parallelism, because the measured
+            # active time already embeds the overlap the count-based laws
+            # cannot see.
+            total = st.loads + st.stores
+            lf = st.loads / total if total > 0 else 1.0
+            if not distinguish:
+                lf = 1.0  # price everything at read characteristics (Eqs. 2/3)
+            r_bw = bw_ratio.get(lf)
+            if r_bw is None:
+                r_bw = bw_ratio[lf] = _speed_ratio_bw(lf, dram, nvm)
+            r_lat = lat_ratio.get(lf)
+            if r_lat is None:
+                r_lat = lat_ratio[lf] = _speed_ratio_lat(lf, dram, nvm, calib)
+            # Time gain = NVM-time minus DRAM-time from the measured
+            # memory-active seconds; ``dram_frac`` of the active time was
+            # observed DRAM-resident and is scaled to its NVM equivalent.
+            ms, df = st.mem_seconds, st.dram_frac
+            t_nvm = ms * (1.0 - df) + ms * df / r_bw
+            bw_gain = (t_nvm * (1.0 - r_bw)) * cf_bw_time
+            t_nvm = ms * (1.0 - df) + ms * df / r_lat
+            lat_gain = (t_nvm * (1.0 - r_lat)) * cf_lat_time
+        else:
+            # Count-based laws (Eqs. 2-5): the paper's loads/stores-only
+            # configuration, corrected by the raw CF factors and the MLP
+            # discount on the latency law.
+            eff_loads, eff_stores = st.effective_counts(use_miss)
+            if raw_cf_bw is None:
+                raw_cf_bw = calib.bandwidth_factor(False)
+                raw_cf_lat = calib.latency_factor(False)
+            cf_lat = raw_cf_lat * calib.mlp_discount(st.bw_demand)
+            bw_gain = benefit_bandwidth(
+                eff_loads, eff_stores, nvm, dram, raw_cf_bw, distinguish
+            )
+            lat_gain = benefit_latency(
+                eff_loads, eff_stores, nvm, dram, cf_lat, distinguish
+            )
+        if sens is bandwidth_sens:
+            bft = bw_gain
+        elif sens is latency_sens:
+            bft = lat_gain
+        else:
+            bft = max(bw_gain, lat_gain)
+        bft *= benefit_scale
+        if use_conf:
+            bft *= st.confidence
+        if demand.in_dram:
+            weights.append(bft)
+            continue
+        # copy_time is a pure function of (size, devices) and partitioned
+        # objects share a handful of distinct sizes, so both cost terms
+        # are memoized per size; the overlap-window subtraction (the only
+        # per-demand part of Eq. 6) stays inline and bitwise identical.
+        size = st.size_bytes
+        ct = mig_ct.get(size)
+        if ct is None:
+            ct = mig_ct[size] = copy_time(
+                size, nvm, dram, DEFAULT_MIGRATION_OVERHEAD_S
+            )
+        off = demand.first_use_offset
+        cost = max(ct - max(off, 0.0), 0.0)
+        extra = 0.0
+        if dram_pressure > 0.0:
+            ev = ev_ct.get(size)
+            if ev is None:
+                ev = ev_ct[size] = eviction_cost([size], dram, nvm)
+            extra = dram_pressure * ev
+        weights.append(bft - margin * (cost + extra))
+    return weights
 
 
 def make_plan(
@@ -196,20 +264,23 @@ def make_plan(
     """Weigh every demand and solve the capacity-constrained selection."""
     budget = int(dram_capacity_bytes * cfg.capacity_fraction)
     pressure = max(0.0, min(1.0, dram_used_bytes / max(1, budget)))
-    weights = [
-        object_weight(d, nvm, dram, calib, cfg, pressure, benefit_scale)
-        for d in demands
-    ]
+    weights = _weights_for(demands, nvm, dram, calib, cfg, pressure, benefit_scale)
     sizes = [d.stats.size_bytes for d in demands]
     if cfg.solver == "greedy":
         mask = greedy_by_density(weights, sizes, budget)
     else:
         mask = solve_knapsack(weights, sizes, budget)
     plan = PlacementPlan(scope=scope)
-    for d, w, keep in zip(demands, weights, mask):
-        plan.weights[d.stats.uid] = w
-        plan.first_use[d.stats.uid] = d.first_use_offset
+    uids = [d.stats.uid for d in demands]
+    plan.weights = dict(zip(uids, weights))
+    plan.first_use = {
+        uid: d.first_use_offset for uid, d in zip(uids, demands)
+    }
+    dram_set = plan.dram_set
+    gain = 0.0  # same left-to-right accumulation as a kept-only loop
+    for uid, w, keep in zip(uids, weights, mask):
         if keep:
-            plan.dram_set.add(d.stats.uid)
-            plan.predicted_gain += w
+            dram_set.add(uid)
+            gain += w
+    plan.predicted_gain = gain
     return plan

@@ -1,29 +1,49 @@
 """On-disk content-addressed result cache for simulated runs.
 
-Results live as one JSON file per :meth:`RunSpec.cache_key` under
-``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``).  Because the key
-already mixes in the code/model version salt, a model change simply
-makes old entries unreachable — no explicit migration needed.
+Results live as one file per :meth:`RunSpec.cache_key` under
+``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``), in either of two
+formats:
+
+- ``<key>.json`` — plain canonical JSON (the default, human-greppable);
+- ``<key>.jsonz`` — a 4-byte magic/version header (``RPZ1``) followed by
+  the gzip-compressed canonical JSON.  Opt in per instance
+  (``ResultCache(binary=True)``) or process-wide with
+  ``REPRO_CACHE_BINARY=1``; sweep-sized summaries compress ~10x and cost
+  proportionally less cache I/O time.
+
+Readers understand both formats regardless of the write preference, and a
+corrupt or truncated binary entry degrades to a miss, never an error.
+Because the key already mixes in the code/model version salt, a model
+change simply makes old entries unreachable — no explicit migration
+needed.
 
 Writes go through a temp file + ``os.replace`` so concurrent sweeps
-(including ``run_many`` worker fan-out) never observe torn entries.
+(including ``run_many`` worker fan-out) never observe torn entries; a
+successful put removes the other-format twin of the same key so each key
+has one authoritative entry.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 import os
 import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable
 
 __all__ = [
     "ResultCache",
+    "BINARY_MAGIC",
     "cache_dir",
     "get_cache",
     "set_cache_enabled",
     "cache_enabled",
 ]
+
+#: Header of a binary cache entry: format tag + version digit.  Bump the
+#: digit if the framing (not the JSON inside) ever changes.
+BINARY_MAGIC = b"RPZ1"
 
 
 def cache_dir() -> Path:
@@ -34,11 +54,20 @@ def cache_dir() -> Path:
     return Path("~/.cache/repro").expanduser()
 
 
-class ResultCache:
-    """A directory of ``<sha256>.json`` result payloads with hit/miss stats."""
+def _binary_default() -> bool:
+    return bool(os.environ.get("REPRO_CACHE_BINARY"))
 
-    def __init__(self, path: Path | str | None = None):
+
+class ResultCache:
+    """A directory of per-key result payloads with hit/miss statistics.
+
+    ``binary`` selects the *write* format (``None`` defers to the
+    ``REPRO_CACHE_BINARY`` environment switch); reads always accept both.
+    """
+
+    def __init__(self, path: Path | str | None = None, binary: bool | None = None):
         self.path = Path(path).expanduser() if path is not None else cache_dir()
+        self.binary = _binary_default() if binary is None else bool(binary)
         self.hits = 0
         self.misses = 0
         self.puts = 0
@@ -47,30 +76,63 @@ class ResultCache:
     def _entry(self, key: str) -> Path:
         return self.path / f"{key}.json"
 
+    def _binary_entry(self, key: str) -> Path:
+        return self.path / f"{key}.jsonz"
+
+    def _all_entries(self) -> Iterable[Path]:
+        yield from self.path.glob("*.json")
+        yield from self.path.glob("*.jsonz")
+
+    @staticmethod
+    def _decode_binary(blob: bytes) -> dict[str, Any] | None:
+        """Payload from a binary entry, or ``None`` if it is not one /
+        is corrupt (the caller degrades to a miss)."""
+        if not blob.startswith(BINARY_MAGIC):
+            return None
+        try:
+            return json.loads(gzip.decompress(blob[len(BINARY_MAGIC) :]))
+        except (OSError, EOFError, ValueError):
+            return None
+
     def get(self, key: str) -> dict[str, Any] | None:
         """The stored payload for ``key``, or ``None`` on a miss (missing
-        or unreadable entries both count as misses)."""
-        entry = self._entry(key)
+        or unreadable entries of either format both count as misses)."""
         try:
-            with entry.open("r", encoding="utf-8") as fh:
-                payload = json.load(fh)
-        except (OSError, ValueError):
-            self.misses += 1
-            return None
+            payload = self._decode_binary(self._binary_entry(key).read_bytes())
+        except OSError:
+            payload = None
+        if payload is None:
+            try:
+                with self._entry(key).open("r", encoding="utf-8") as fh:
+                    payload = json.load(fh)
+            except (OSError, ValueError):
+                self.misses += 1
+                return None
         self.hits += 1
         return payload
 
     def put(self, key: str, payload: dict[str, Any]) -> None:
-        """Atomically store ``payload`` under ``key``."""
+        """Atomically store ``payload`` under ``key`` in the configured
+        format, superseding any other-format entry for the same key."""
         self.path.mkdir(parents=True, exist_ok=True)
-        entry = self._entry(key)
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+            "utf-8"
+        )
+        if self.binary:
+            entry = self._binary_entry(key)
+            stale = self._entry(key)
+            # mtime=0 keeps equal payloads byte-identical across writes.
+            blob = BINARY_MAGIC + gzip.compress(blob, mtime=0)
+        else:
+            entry = self._entry(key)
+            stale = self._binary_entry(key)
         tmp = entry.with_suffix(f".tmp.{os.getpid()}")
         try:
-            with tmp.open("w", encoding="utf-8") as fh:
-                json.dump(payload, fh, sort_keys=True, separators=(",", ":"))
+            tmp.write_bytes(blob)
             os.replace(tmp, entry)
         finally:
             tmp.unlink(missing_ok=True)
+        stale.unlink(missing_ok=True)
         self.puts += 1
 
     def prune(
@@ -78,7 +140,7 @@ class ResultCache:
         max_entries: int | None = None,
         max_age_s: float | None = None,
     ) -> int:
-        """Evict stale entries; returns the number of files removed.
+        """Evict stale entries (both formats); returns files removed.
 
         ``max_age_s`` drops entries whose file mtime is older than that
         many seconds; ``max_entries`` then keeps only the most recently
@@ -86,7 +148,7 @@ class ResultCache:
         (concurrent prune or invalidate) are skipped silently.
         """
         stamped: list[tuple[float, Path]] = []
-        for entry in self.path.glob("*.json"):
+        for entry in self._all_entries():
             try:
                 stamped.append((entry.stat().st_mtime, entry))
             except OSError:
@@ -111,10 +173,13 @@ class ResultCache:
         return removed
 
     def invalidate(self, key: str | None = None) -> int:
-        """Drop one entry (or every entry when ``key`` is ``None``);
-        returns the number of files removed."""
+        """Drop one key's entries (or every entry when ``key`` is
+        ``None``); returns the number of files removed."""
+        if key is not None:
+            targets = [self._entry(key), self._binary_entry(key)]
+        else:
+            targets = list(self._all_entries())
         removed = 0
-        targets = [self._entry(key)] if key is not None else list(self.path.glob("*.json"))
         for entry in targets:
             try:
                 entry.unlink()
@@ -125,18 +190,20 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def entries(self) -> int:
-        return sum(1 for _ in self.path.glob("*.json"))
+        return sum(1 for _ in self._all_entries())
 
     def size_bytes(self) -> int:
-        return sum(e.stat().st_size for e in self.path.glob("*.json"))
+        return sum(e.stat().st_size for e in self._all_entries())
 
     def stats(self) -> dict[str, Any]:
+        n_binary = sum(1 for _ in self.path.glob("*.jsonz"))
         return {
             "path": str(self.path),
             "hits": self.hits,
             "misses": self.misses,
             "puts": self.puts,
             "entries": self.entries(),
+            "binary_entries": n_binary,
             "size_bytes": self.size_bytes(),
         }
 
@@ -144,7 +211,8 @@ class ResultCache:
         s = self.stats()
         return (
             f"cache {s['path']}: {s['hits']} hits / {s['misses']} misses "
-            f"this session, {s['entries']} entries ({s['size_bytes']} B)"
+            f"this session, {s['entries']} entries "
+            f"({s['binary_entries']} binary, {s['size_bytes']} B)"
         )
 
 

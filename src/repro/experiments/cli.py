@@ -10,7 +10,7 @@ codes (0 ok, 1 a run or gate failed, 2 usage / unknown name)::
     repro-experiments sweep cg,heat --policies tahoe,nvm-only --nvm bw-1/2
     repro-experiments trace heat --policy tahoe --nvm bw-1/8 --gantt
     repro-experiments metrics cg --policy tahoe --format prom
-    repro-experiments bench --out BENCH_PR4.json
+    repro-experiments bench --out BENCH_PR5.json
 
 ``metrics`` executes one described run under telemetry and exports the
 metric series, time-series samples and placement audit log (JSON / CSV /
@@ -434,8 +434,8 @@ def _bench_main(argv: list[str]) -> int:
         parents=[_common_parser(("json",), "json")],
     )
     parser.add_argument(
-        "--out", metavar="PATH", default="BENCH_PR4.json",
-        help="output profile path (default: BENCH_PR4.json)",
+        "--out", metavar="PATH", default="BENCH_PR5.json",
+        help="output profile path (default: BENCH_PR5.json)",
     )
     parser.add_argument(
         "--reps", type=int, default=3, help="repetitions per cell (default: 3)"
@@ -449,16 +449,41 @@ def _bench_main(argv: list[str]) -> int:
         help="fail (exit 1) if normalized wall clock regresses more than "
         "PCT%% vs --baseline (default: 20)",
     )
+    parser.add_argument(
+        "--phase-gate", type=float, default=25.0, metavar="PCT",
+        help="also fail if any single normalized phase regresses more than "
+        "PCT%% vs --baseline; pass a negative value to disable (default: 25)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the suite under cProfile and print the top 25 functions "
+        "by cumulative time",
+    )
+    parser.add_argument(
+        "--profile-out", metavar="PATH", default=None,
+        help="write the cProfile binary stats to PATH (implies --profile); "
+        "inspect later with `python -m pstats PATH`",
+    )
     args = parser.parse_args(argv)
     _apply_common(args)
 
     from repro.metrics.bench import check_against_baseline, run_bench, write_profile
 
+    profiling = args.profile or args.profile_out is not None
+    profiler = None
+    if profiling:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         profile = run_bench(reps=args.reps, seed=args.seed)
     except (KeyError, ValueError) as exc:
         print(exc, file=sys.stderr)
         return 2
+    finally:
+        if profiler is not None:
+            profiler.disable()
     write_profile(profile, args.out)
     print(
         f"bench: {profile['n_runs']} runs in {profile['total_wall_s']:.3f} s "
@@ -466,8 +491,19 @@ def _bench_main(argv: list[str]) -> int:
     )
     for phase, t in sorted(profile["phases"].items()):
         print(f"  {phase:<14} {t * 1e3:9.2f} ms")
+    if profiler is not None:
+        import pstats
+
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
+        if args.profile_out:
+            stats.dump_stats(args.profile_out)
+            print(f"wrote cProfile stats to {args.profile_out}", file=sys.stderr)
     if args.baseline:
-        ok, message = check_against_baseline(profile, args.baseline, args.gate)
+        phase_gate = args.phase_gate if args.phase_gate >= 0 else None
+        ok, message = check_against_baseline(
+            profile, args.baseline, args.gate, phase_gate_pct=phase_gate
+        )
         print(message)
         if not ok:
             return 1

@@ -31,7 +31,6 @@ from repro.baselines import (
     XMemPolicy,
 )
 from repro.core.manager import DataManagerPolicy, ManagerConfig
-from repro.core.partition import partition_graph
 from repro.core.placement import PlanConfig
 from repro.experiments.spec import RunSpec, RunResult
 from repro.memory.device import MemoryDevice
@@ -47,7 +46,7 @@ from repro.tasking.scheduler import (
 from repro.tasking.trace import ExecutionTrace
 from repro.util.tables import Table
 from repro.util.units import MIB
-from repro.workloads import build
+from repro.workloads.memo import build_cached
 
 __all__ = [
     "ExperimentResult",
@@ -227,13 +226,14 @@ def execute_spec(spec: RunSpec, telemetry: Any = None) -> ExecutionTrace:
 def _execute(spec: RunSpec, telemetry: Any = None) -> tuple[ExecutionTrace, MemoryDevice]:
     params = workload_params(spec.workload, spec.fast)
     params.update(spec.workload_kwargs)
-    workload = build(spec.workload, **params)
     policy = make_policy(spec.policy, **spec.policy_kwargs)
-
-    graph = workload.graph
     max_chunk = getattr(policy, "partition_max_bytes", None)
-    if max_chunk:
-        graph = partition_graph(graph, max_chunk)
+    # Interned: memo-equivalent specs share one built (and, when the
+    # policy partitions, pre-partitioned) graph structure.
+    workload = build_cached(
+        spec.workload, partition_max_bytes=max_chunk or None, **params
+    )
+    graph = workload.graph
 
     dram_dev, cfg = _build_machine(spec, workload.total_bytes)
     hms = HeterogeneousMemorySystem(dram_dev, spec.nvm)

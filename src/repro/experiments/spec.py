@@ -215,9 +215,21 @@ class RunSpec:
         return cls(**kwargs)
 
     def cache_key(self) -> str:
-        """Content address of this spec under the current code version."""
-        payload = {"salt": version_salt(), "spec": self.to_dict()}
-        return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+        """Content address of this spec under the current code version.
+
+        Memoized on the instance per version salt: the spec is frozen, so
+        sweeps and the cache layer can re-ask freely without
+        re-serializing and re-hashing the spec every time, while a model
+        version bump still yields a fresh key.
+        """
+        salt = version_salt()
+        cached = self.__dict__.get("_cache_key")
+        if cached is not None and cached[0] == salt:
+            return cached[1]
+        payload = {"salt": salt, "spec": self.to_dict()}
+        key = hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+        object.__setattr__(self, "_cache_key", (salt, key))
+        return key
 
     def label(self) -> str:
         """Short human-readable tag for logs and progress lines."""

@@ -38,6 +38,11 @@ class ContentionModel:
     def __post_init__(self) -> None:
         require_positive(self.saturation_streams, "saturation_streams")
         require_positive(self.rolloff, "rolloff")
+        # Memo for slowdown(): the executor asks per access in its inner
+        # loop and the domain is tiny (0..n_workers streams).  Stored via
+        # object.__setattr__ because the dataclass is frozen; not a field,
+        # so equality/hash/replace are unaffected.
+        object.__setattr__(self, "_slowdown_memo", {})
 
     def share(self, n_streams: int) -> float:
         """Fraction of full device bandwidth each of ``n_streams`` gets."""
@@ -47,7 +52,11 @@ class ContentionModel:
 
     def slowdown(self, n_streams: int) -> float:
         """Multiplier on the bandwidth *time* term (>= 1)."""
-        return 1.0 / self.share(n_streams)
+        memo = self._slowdown_memo
+        s = memo.get(n_streams)
+        if s is None:
+            s = memo[n_streams] = 1.0 / self.share(n_streams)
+        return s
 
 
 #: No contention at all — handy for unit tests and model derivations.

@@ -127,11 +127,6 @@ class SamplingProfiler:
         truth reflect where the data lived during the profiled run; when
         omitted, access-count shares are used.
         """
-        rng = spawn_rng(self._seed, "sampler", task.name, task.type_name)
-        p = 1.0 / self.interval_cycles
-        n_samp = self.n_samples(duration)
-
-        total_accesses = max(1, task.total_accesses)
         # Ground-truth active time per object: its memory time (on its
         # device, uncontended) plus a proportional share of compute time.
         mem_times: dict[int, float] = {}
@@ -144,6 +139,32 @@ class SamplingProfiler:
             else:
                 mem_times[obj.uid] = 0.0
                 devices[obj.uid] = ""
+
+        # Past this point the profile is a pure function of the task's own
+        # footprint, the profiler parameters (which seed the noise stream),
+        # the duration, and the per-object residency captured above — so a
+        # repeat profile of an interned task (graphs are reused across runs
+        # of an experiment suite) is served from a small memo on the task.
+        # TaskProfile and ObjectSample are frozen, so sharing is safe.
+        memo_key = (
+            self._seed,
+            self.interval_cycles,
+            self.cpu_hz,
+            duration,
+            tuple(mem_times.values()),
+            tuple(devices.values()),
+        )
+        memo = task.__dict__.get("_profile_memo")
+        if memo is not None:
+            hit = memo.get(memo_key)
+            if hit is not None:
+                return hit
+
+        rng = spawn_rng(self._seed, "sampler", task.name, task.type_name)
+        p = 1.0 / self.interval_cycles
+        n_samp = self.n_samples(duration)
+
+        total_accesses = max(1, task.total_accesses)
         sum_mem = sum(mem_times.values())
 
         objects: dict[int, ObjectSample] = {}
@@ -185,9 +206,15 @@ class SamplingProfiler:
                 mem_active_fraction=mem_est,
                 device=devices[obj.uid],
             )
-        return TaskProfile(
+        profile = TaskProfile(
             task_name=task.name,
             type_name=task.type_name,
             duration=duration,
             objects=objects,
         )
+        if memo is None:
+            memo = task.__dict__["_profile_memo"] = {}
+        memo[memo_key] = profile
+        while len(memo) > 8:  # a task sees few distinct (duration, residency)
+            memo.pop(next(iter(memo)))
+        return profile

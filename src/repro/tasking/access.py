@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
+from functools import cached_property
 
 from repro.memory.device import MemoryDevice
 from repro.util.units import CACHELINE_BYTES
@@ -107,23 +108,26 @@ class ObjectAccess:
     # ------------------------------------------------------------------
     # Derived traffic
     # ------------------------------------------------------------------
-    @property
+    # Cached: footprints are immutable and the executor's timing loop
+    # re-reads these for every (task, object) pair every run.  The cache
+    # lands in the instance ``__dict__``, which frozen dataclasses keep.
+    @cached_property
     def accesses(self) -> int:
         return self.loads + self.stores
 
-    @property
+    @cached_property
     def miss_loads(self) -> float:
         return self.loads * (1.0 - self.pattern.hit_ratio)
 
-    @property
+    @cached_property
     def miss_stores(self) -> float:
         return self.stores * (1.0 - self.pattern.hit_ratio)
 
-    @property
+    @cached_property
     def read_traffic_bytes(self) -> float:
         return self.miss_loads * CACHELINE_BYTES
 
-    @property
+    @cached_property
     def write_traffic_bytes(self) -> float:
         return self.miss_stores * CACHELINE_BYTES
 
@@ -143,9 +147,34 @@ class ObjectAccess:
         latency of dependent accesses.  ``lat_slowdown`` (>= 1) scales the
         latency term instead — injected device degradation (wear/thermal
         throttling) slows both laws, unlike contention.
+
+        The unscaled (latency, bandwidth) pair is a pure function of this
+        footprint and the device's four timing parameters, so it is
+        memoized per timing signature; only the slowdown scaling and the
+        roofline max run per call.
         """
-        lat = device.latency_time(self.miss_loads, self.miss_stores, self.pattern.mlp)
-        bw = device.bandwidth_time(self.read_traffic_bytes, self.write_traffic_bytes)
+        key = (
+            device.read_latency_s,
+            device.write_latency_s,
+            device.read_bandwidth,
+            device.write_bandwidth,
+        )
+        cache = self.__dict__.get("_base_times")
+        if cache is None:
+            # Direct __dict__ write: allowed on a frozen dataclass (only
+            # __setattr__ is blocked), same trick cached_property uses.
+            cache = self.__dict__["_base_times"] = {}
+        base = cache.get(key)
+        if base is None:
+            lat = device.latency_time(
+                self.miss_loads, self.miss_stores, self.pattern.mlp
+            )
+            bw = device.bandwidth_time(
+                self.read_traffic_bytes, self.write_traffic_bytes
+            )
+            base = cache[key] = (lat, bw)
+        else:
+            lat, bw = base
         return max(lat * lat_slowdown, bw * bw_slowdown)
 
     def scaled(self, factor: float) -> "ObjectAccess":

@@ -372,8 +372,27 @@ class Executor:
         capacity_lost = 0
         emergency_evictions = 0
 
+        # Loop-invariant bindings for the dispatch loop: attribute and
+        # bound-method lookups on these dominate the per-task overhead of
+        # small-task graphs, and none of them can change mid-run.
+        hms = self.hms
+        scheduler = self.scheduler
+        placement_of = hms.placement_of
+        mark_dirty = hms.mark_dirty
+        available_at = engine.available_at
+        note_first_use = engine.note_first_use
+        before_task = policy.before_task
+        after_task = policy.after_task
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        overlap_keep = 1.0 - cfg.overlap_factor
+        task_times = self._task_times
+        note_dispatch = ctx._note_dispatch
+        records_append = records.append
+        running_append = running.append
+
         while n_done < n_total:
-            free_at, wid = heapq.heappop(workers)
+            free_at, wid = heappop(workers)
             if telemetry is not None:
                 telemetry.tick(free_at)
             drain_completions(free_at)
@@ -383,7 +402,7 @@ class Executor:
                 emergency_evictions += evs
             if n_done >= n_total:
                 break
-            if len(self.scheduler) == 0:
+            if len(scheduler) == 0:
                 if not completions:
                     raise RuntimeError(
                         "deadlock: no ready tasks and no pending completions "
@@ -391,12 +410,12 @@ class Executor:
                     )
                 next_t = completions[0][0]
                 drain_completions(next_t)
-                heapq.heappush(workers, (max(free_at, next_t), wid))
+                heappush(workers, (max(free_at, next_t), wid))
                 continue
 
-            task = self.scheduler.pop()
+            task = scheduler.pop()
             now = max(free_at, ready_at.get(task.tid, 0.0))
-            overhead_before = policy.before_task(task, ctx, now)
+            overhead_before = before_task(task, ctx, now)
             t0 = now + overhead_before
 
             # Writers block until in-flight migrations of their data land;
@@ -409,22 +428,25 @@ class Executor:
                 if acc.accesses == 0:
                     continue
                 if acc.mode.writes:
-                    self.hms.mark_dirty(obj)
-                a = engine.available_at(obj.uid)
-                if a > t0:
-                    if acc.mode.writes:
+                    mark_dirty(obj)
+                    a = available_at(obj.uid)
+                    if a > t0:
                         if a > avail:
                             avail = a
-                        engine.note_first_use(obj.uid, t0)
-                else:
-                    engine.note_first_use(obj.uid, t0)
+                    note_first_use(obj.uid, t0)
+                elif available_at(obj.uid) <= t0:
+                    note_first_use(obj.uid, t0)
             start_exec = max(t0, avail)
             stall = start_exec - t0
 
-            compute, mem = self._task_times(task, start_exec, running, working_set, engine)
-            exec_time = max(compute, mem) + (1.0 - cfg.overlap_factor) * min(compute, mem)
+            compute, mem = task_times(task, start_exec, running, working_set, engine)
+            if compute >= mem:
+                exec_time = compute + overlap_keep * mem
+            else:
+                exec_time = mem + overlap_keep * compute
             finish = start_exec + exec_time
 
+            residency = {o.uid: placement_of(o).device for o in task.accesses}
             record = TaskRecord(
                 task=task,
                 worker=wid,
@@ -434,22 +456,22 @@ class Executor:
                 memory_time=mem,
                 overhead_time=overhead_before,
                 stall_time=stall,
-                residency={o.uid: self.hms.placement_of(o).device for o in task.accesses},
+                residency=residency,
             )
-            overhead_after = policy.after_task(task, record, ctx)
+            overhead_after = after_task(task, record, ctx)
             worker_free = finish + overhead_after
             record = TaskRecord(
-                task=record.task,
-                worker=record.worker,
-                start=record.start,
+                task=task,
+                worker=wid,
+                start=now,
                 finish=worker_free,
-                compute_time=record.compute_time,
-                memory_time=record.memory_time,
+                compute_time=compute,
+                memory_time=mem,
                 overhead_time=overhead_before + overhead_after,
-                stall_time=record.stall_time,
-                residency=record.residency,
+                stall_time=stall,
+                residency=residency,
             )
-            records.append(record)
+            records_append(record)
             if telemetry is not None:
                 reg = telemetry.registry
                 reg.counter(
@@ -472,12 +494,12 @@ class Executor:
                     ).inc(oh)
 
             touched = frozenset(
-                self.hms.placement_of(o).device for o in task.accesses
+                placement_of(o).device for o in task.accesses
             )
-            running.append((finish, task, touched))
-            ctx._note_dispatch(task, finish)
-            heapq.heappush(completions, (worker_free, task.tid))
-            heapq.heappush(workers, (worker_free, wid))
+            running_append((finish, task, touched))
+            note_dispatch(task, finish)
+            heappush(completions, (worker_free, task.tid))
+            heappush(workers, (worker_free, wid))
 
         makespan = max((r.finish for r in records), default=0.0)
         trace = ExecutionTrace(
@@ -570,7 +592,8 @@ class Executor:
         """Ground-truth (compute, memory) times for ``task`` starting now."""
         cfg = self.config
         # Contention: count still-running tasks per device, including this one.
-        running[:] = [r for r in running if r[0] > start + 1e-15]
+        cutoff = start + 1e-15
+        running[:] = [r for r in running if r[0] > cutoff]
         active: dict[str, int] = {}
         for _, _, devices in running:
             for d in devices:
@@ -599,16 +622,19 @@ class Executor:
                     )
                 mem += cfg.dram_cache.blend(t_d, t_n, working_set)
         else:
+            device_of = self.hms.device_of
+            slowdown = cfg.contention.slowdown
+            in_flight_source = engine.in_flight_source if engine else None
+            active_get = active.get
             for obj, acc in task.accesses.items():
-                dev = self.hms.device_of(obj)
+                dev = device_of(obj)
                 # Readers of an in-flight migration still hit the source
                 # copy: time them on the source device.
-                src_name = (
-                    engine.in_flight_source(obj.uid, start) if engine else None
-                )
-                if src_name is not None and not acc.mode.writes:
-                    dev = self._device_by_name(src_name, dev)
-                slow = cfg.contention.slowdown(active.get(dev.name, 0) + 1)
+                if in_flight_source is not None:
+                    src_name = in_flight_source(obj.uid, start)
+                    if src_name is not None and not acc.mode.writes:
+                        dev = self._device_by_name(src_name, dev)
+                slow = slowdown(active_get(dev.name, 0) + 1)
                 if inj is None:
                     mem += acc.memory_time(dev, bw_slowdown=slow)
                 else:

@@ -49,6 +49,32 @@ class TaskGraph:
         self._readers_since_write: dict[int, list[Task]] = defaultdict(list)
         # Object registry in first-touch order.
         self._objects: dict[int, DataObject] = {}
+        # Monotonic structure version; every mutation bumps it and the
+        # derived-query caches below revalidate against it.  The executor
+        # asks for successors/objects/topological order in its inner loop,
+        # and rebuilding those per call dominated the graph-side profile.
+        self._version = 0
+        self._succ_cache: dict[int, list[Task]] = {}
+        self._pred_cache: dict[int, list[Task]] = {}
+        self._objects_cache: list[DataObject] | None = None
+        self._topo_cache: list[Task] | None = None
+        self._cache_version = -1
+
+    def invalidate_caches(self) -> None:
+        """Bump the structure version (for external in-place transforms
+        such as partitioning, which rewrite ``_objects`` directly)."""
+        self._version += 1
+
+    def _caches(self) -> "TaskGraph":
+        """Reset derived-query caches if the structure moved on."""
+        if self._cache_version != self._version:
+            self._succ_cache.clear()
+            self._pred_cache.clear()
+            self._objects_cache = None
+            self._topo_cache = None
+            self._depths_cache = None
+            self._cache_version = self._version
+        return self
 
     # ------------------------------------------------------------------
     # Construction
@@ -57,6 +83,7 @@ class TaskGraph:
         """Append a task and infer its incoming dependences."""
         if task.tid in self._by_tid:
             raise ValueError(f"task {task.tid} already in graph")
+        self._version += 1
         self.tasks.append(task)
         self._by_tid[task.tid] = task
         self._succ.setdefault(task.tid, set())
@@ -86,6 +113,7 @@ class TaskGraph:
         if src is dst:
             return
         if dst.tid not in self._succ[src.tid]:
+            self._version += 1
             self._succ[src.tid].add(dst.tid)
             self._pred[dst.tid].add(src.tid)
         self.dependences.append(Dependence(src, dst, kind, obj))
@@ -103,6 +131,7 @@ class TaskGraph:
             raise ValueError("manual edges must point forward in spawn order")
         sentinel = obj if obj is not None else next(iter(src.accesses), None)
         if dst.tid not in self._succ[src.tid]:
+            self._version += 1
             self._succ[src.tid].add(dst.tid)
             self._pred[dst.tid].add(src.tid)
         if sentinel is not None:
@@ -125,18 +154,37 @@ class TaskGraph:
         return self._by_tid[tid]
 
     def successors(self, task: Task) -> list[Task]:
-        return [self._by_tid[t] for t in sorted(self._succ[task.tid])]
+        """Successor tasks in tid order.  The list is cached per tid until
+        the next graph mutation — callers must not mutate it."""
+        cache = self._caches()._succ_cache
+        succ = cache.get(task.tid)
+        if succ is None:
+            succ = cache[task.tid] = [
+                self._by_tid[t] for t in sorted(self._succ[task.tid])
+            ]
+        return succ
 
     def predecessors(self, task: Task) -> list[Task]:
-        return [self._by_tid[t] for t in sorted(self._pred[task.tid])]
+        """Predecessor tasks in tid order (cached like :meth:`successors`)."""
+        cache = self._caches()._pred_cache
+        pred = cache.get(task.tid)
+        if pred is None:
+            pred = cache[task.tid] = [
+                self._by_tid[t] for t in sorted(self._pred[task.tid])
+            ]
+        return pred
 
     def in_degree(self, task: Task) -> int:
         return len(self._pred[task.tid])
 
     @property
     def objects(self) -> list[DataObject]:
-        """All data objects touched by any task, in first-touch order."""
-        return list(self._objects.values())
+        """All data objects touched by any task, in first-touch order.
+        Cached until the next graph mutation; callers must not mutate it."""
+        objs = self._caches()._objects_cache
+        if objs is None:
+            objs = self._objects_cache = list(self._objects.values())
+        return objs
 
     def total_object_bytes(self) -> int:
         return sum(o.size_bytes for o in self._objects.values())
@@ -152,7 +200,11 @@ class TaskGraph:
     # ------------------------------------------------------------------
     def topological_order(self) -> list[Task]:
         """Kahn topological order (equals spawn order for well-formed use,
-        but recomputed here for validation)."""
+        but recomputed here for validation).  Cached until the next graph
+        mutation; callers must not mutate the returned list."""
+        topo = self._caches()._topo_cache
+        if topo is not None:
+            return topo
         indeg = {t.tid: len(self._pred[t.tid]) for t in self.tasks}
         ready = [t for t in self.tasks if indeg[t.tid] == 0]
         order: list[Task] = []
@@ -168,6 +220,7 @@ class TaskGraph:
                     ready.append(self._by_tid[s])
         if len(order) != len(self.tasks):
             raise ValueError("task graph contains a cycle")
+        self._topo_cache = order
         return order
 
     def critical_path(self, duration: Callable[[Task], float]) -> tuple[float, list[Task]]:
@@ -196,10 +249,10 @@ class TaskGraph:
         return finish[end_tid], list(reversed(path))
 
     def depths(self) -> dict[int, int]:
-        """Longest-path depth of every task (roots at 0).  Cached; the
-        graph must not grow afterwards (execution-time use only)."""
-        cached = getattr(self, "_depths_cache", None)
-        if cached is not None and len(cached) == len(self.tasks):
+        """Longest-path depth of every task (roots at 0).  Cached until
+        the next graph mutation."""
+        cached = getattr(self._caches(), "_depths_cache", None)
+        if cached is not None:
             return cached
         depths: dict[int, int] = {}
         for t in self.topological_order():

@@ -1,0 +1,94 @@
+"""Interned workload builds: one graph per (workload, params) structure.
+
+Building a task graph — spawning tasks, inferring dependences, resolving
+static reference counts — is pure construction: the result depends only
+on the workload name, its builder parameters, and the model version.
+Sweeps and repeated runs rebuild the same structure over and over, so the
+built :class:`~repro.workloads.base.Workload` is interned here and shared
+across runs.  Sharing is safe because all runtime-mutable placement state
+lives in the memory system and the policies, never in the graph, its
+tasks, or its data objects — a property pinned by the repeat-run
+equivalence tests.
+
+Partitioned variants get their *own* memo entries: partitioning mutates a
+graph in place (splitting large objects and rewriting accesses), so a
+graph handed to :func:`~repro.core.partition.partition_graph` must never
+be the unpartitioned cache entry.  The chunk size is therefore part of
+the memo key and the partitioning runs on a freshly built graph.
+
+``REPRO_NO_GRAPH_MEMO=1`` disables interning (every call builds fresh).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.core.partition import partition_graph
+from repro.workloads.base import Workload, build
+
+__all__ = ["build_cached", "clear_build_cache", "build_cache_stats"]
+
+_MEMO_MAX = 32
+
+#: (name, frozen params, partition bytes, model version) -> Workload
+_memo: dict[Any, Workload] = {}
+_stats = {"hits": 0, "misses": 0}
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively hashable form of a builder parameter value."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, set):
+        return tuple(sorted(_freeze(v) for v in value))
+    return value
+
+
+def build_cached(
+    name: str, *, partition_max_bytes: int | None = None, **params: Any
+) -> Workload:
+    """Construct (or reuse) a registered workload, optionally partitioned.
+
+    Memo-equivalent calls return the *same* :class:`Workload` instance —
+    identical graph, task, and object identities — which also makes
+    repeated runs bitwise reproducible where fresh builds would differ in
+    uid-dependent set-iteration order.
+    """
+    if os.environ.get("REPRO_NO_GRAPH_MEMO"):
+        wl = build(name, **params)
+        if partition_max_bytes:
+            partition_graph(wl.graph, partition_max_bytes)
+        return wl
+
+    # Imported lazily: experiments imports workloads at package import.
+    from repro.experiments.spec import MODEL_VERSION
+
+    key = (name, _freeze(params), partition_max_bytes, MODEL_VERSION)
+    wl = _memo.get(key)
+    if wl is not None:
+        _memo[key] = _memo.pop(key)  # LRU bump
+        _stats["hits"] += 1
+        return wl
+
+    _stats["misses"] += 1
+    wl = build(name, **params)
+    if partition_max_bytes:
+        partition_graph(wl.graph, partition_max_bytes)
+    _memo[key] = wl
+    while len(_memo) > _MEMO_MAX:
+        _memo.pop(next(iter(_memo)))
+    return wl
+
+
+def clear_build_cache() -> None:
+    """Drop all interned workloads (tests and long-lived processes)."""
+    _memo.clear()
+    _stats["hits"] = _stats["misses"] = 0
+
+
+def build_cache_stats() -> dict[str, int]:
+    """Hit/miss counters for the interning layer (observability)."""
+    return dict(_stats)

@@ -1,0 +1,51 @@
+"""Regenerate tests/goldens/equivalence.json (run from the repo root).
+
+Run this against the *pre-change* code when (re)pinning: the golden file
+is the contract that performance work never changes a simulated number.
+Each spec is generated from a rewound process state (see
+``reset_process_caches``) so the pins are order-independent.
+
+    PYTHONPATH=src python tests/goldens/regen_equivalence.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from test_perf_equivalence import (  # noqa: E402
+    GOLDEN_PATH,
+    PINNED_FULL,
+    SPOT_SPECS,
+    _canonical_digest,
+    reset_process_caches,
+)
+
+from repro.experiments.runner import run_and_summarize  # noqa: E402
+
+
+def main() -> None:
+    goldens: dict[str, dict] = {}
+    for exp in sorted(SPOT_SPECS):
+        reset_process_caches()
+        spec = SPOT_SPECS[exp]
+        payload = run_and_summarize(spec).to_payload()
+        entry: dict = {
+            "cache_key": spec.cache_key(),
+            "payload_sha256": _canonical_digest(payload),
+        }
+        if exp in PINNED_FULL:
+            entry["payload"] = payload
+        goldens[exp] = entry
+        print(f"{exp}: {entry['payload_sha256'][:16]}")
+    GOLDEN_PATH.write_text(
+        json.dumps(goldens, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,7 +6,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.knapsack import greedy_by_density, solve_knapsack
+from repro.core.knapsack import (
+    clear_solver_cache,
+    greedy_bounded,
+    greedy_by_density,
+    solve_knapsack,
+)
 
 
 def total(mask, values):
@@ -98,3 +103,68 @@ def test_dp_matches_bruteforce_and_dominates_greedy(items, capacity):
     assert size_of(gmask, sizes) <= capacity
     assert total(mask, values) == pytest.approx(best, rel=1e-9)
     assert total(gmask, values) <= best + 1e-9
+
+
+class TestIncrementalSolver:
+    """The memo/warm-start machinery must be invisible in the results."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        items=st.lists(
+            st.tuples(st.floats(0.1, 100.0), st.integers(1, 60)),
+            min_size=2,
+            max_size=16,
+        ),
+        patches=st.lists(
+            st.tuples(st.integers(0, 15), st.floats(0.1, 100.0)), max_size=4
+        ),
+        capacity=st.integers(1, 150),
+    )
+    def test_warm_start_matches_from_scratch(self, items, patches, capacity):
+        """Property: every cached solve (exact-fingerprint hits and
+        prefix warm starts alike) equals the ``use_cache=False``
+        from-scratch reference on the same instance.
+
+        The patch sequence mutates one item at a time, producing exactly
+        the almost-identical instance successions the warm-start path is
+        built for (long shared prefixes, changed suffixes).
+        """
+        clear_solver_cache()
+        values = [v for v, _ in items]
+        sizes = [s for _, s in items]
+        instances = [(list(values), list(sizes))]
+        for i, new_value in patches:
+            values = list(values)
+            values[i % len(values)] = new_value
+            instances.append((list(values), list(sizes)))
+        for vals, szs in instances:
+            warm = solve_knapsack(vals, szs, capacity)
+            cold = solve_knapsack(vals, szs, capacity, use_cache=False)
+            assert warm == cold
+            # Second cached solve takes the exact-fingerprint memo path.
+            assert solve_knapsack(vals, szs, capacity) == cold
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        items=st.lists(
+            st.tuples(st.floats(0.1, 100.0), st.integers(1, 50)),
+            min_size=1,
+            max_size=10,
+        ),
+        capacity=st.integers(1, 120),
+    )
+    def test_greedy_bounded_within_half_of_optimum(self, items, capacity):
+        """Property: the bounded greedy (density fill vs. best single
+        item) achieves at least half the brute-force 0/1 optimum — the
+        guarantee the auto-route to greedy for oversized DP tables
+        relies on."""
+        values = [v for v, _ in items]
+        sizes = [s for _, s in items]
+        best = 0.0
+        for picks in itertools.product([0, 1], repeat=len(items)):
+            sz = sum(s for s, p in zip(sizes, picks) if p)
+            if sz <= capacity:
+                best = max(best, sum(v for v, p in zip(values, picks) if p))
+        mask = greedy_bounded(values, sizes, capacity)
+        assert size_of(mask, sizes) <= capacity
+        assert total(mask, values) >= 0.5 * best - 1e-9

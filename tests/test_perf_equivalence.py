@@ -1,0 +1,147 @@
+"""Equivalence regression harness for the hot-path performance pass.
+
+The performance work (incremental knapsack, graph-build interning, the
+executor fast paths, binary cache payloads) must not change a single
+simulated number: every optimization is either exact-by-construction or
+routed around the tier-1 configurations.  This module pins that promise:
+
+- one spot-check :class:`RunSpec` per registered experiment, with the
+  full result payload pinned for e1/e5/e9 and a canonical-JSON sha256
+  pinned for the rest (``tests/goldens/equivalence.json`` was generated
+  from the pre-PR code);
+- ``RunSpec.cache_key()`` pinned for every spot spec (the on-disk cache
+  must keep addressing pre-PR entries);
+- a run-twice check per spec: the second in-process run exercises every
+  memo layer (graph interning, knapsack cache, calibration cache) and
+  must reproduce the first run byte-identically — including the
+  partitioned ``tahoe-part`` variant, whose graph must never share a
+  memo entry with the unpartitioned build.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import run_and_summarize
+from repro.experiments.spec import RunSpec
+from repro.memory.presets import (
+    nvm_bandwidth_scaled,
+    nvm_latency_scaled,
+    optane_pm,
+)
+from repro.util.units import MIB
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "equivalence.json"
+
+#: Experiments whose full payload (not just its digest) is pinned.
+PINNED_FULL = ("e1", "e5", "e9")
+
+#: One representative spec per registered experiment, mirroring the spec
+#: shapes each module sweeps (same workloads, policies, NVM configs).
+SPOT_SPECS: dict[str, RunSpec] = {
+    "e1": RunSpec("cg", "nvm-only", nvm_bandwidth_scaled(0.5), fast=True),
+    "e2": RunSpec("heat", "nvm-only", nvm_bandwidth_scaled(0.25), fast=True),
+    "e3": RunSpec("sparselu", "tahoe", nvm_latency_scaled(4.0), fast=True),
+    "e4": RunSpec("heat", "xmem", nvm_bandwidth_scaled(0.5), fast=True),
+    "e5": RunSpec("cg", "tahoe", nvm_bandwidth_scaled(0.5), fast=True),
+    "e6": RunSpec("cg", "tahoe", nvm_bandwidth_scaled(0.5), n_workers=4, fast=True),
+    "e7": RunSpec(
+        "heat", "tahoe", nvm_bandwidth_scaled(0.5), dram_capacity=24 * MIB, fast=True
+    ),
+    "e8": RunSpec("sparselu", "tahoe", optane_pm(), fast=True),
+    "e9": RunSpec(
+        "cg",
+        "tahoe",
+        nvm_bandwidth_scaled(0.5),
+        dram_capacity=28 * MIB,
+        fast=True,
+        policy_overrides={"name": "tahoe-greedy", "solver": "greedy"},
+    ),
+    "e10": RunSpec("heat", "oracle-static", nvm_bandwidth_scaled(0.5), fast=True),
+    "e11": RunSpec(
+        "cg", "tahoe", nvm_bandwidth_scaled(0.5), scheduler="critical-path", fast=True
+    ),
+    "e12": RunSpec(
+        "cg", "tahoe", nvm_bandwidth_scaled(0.5), fast=True, faults="flaky-copies"
+    ),
+}
+
+#: Not tied to an experiment id, but exercises the one graph transform
+#: that mutates graphs in place (partitioning) against the memo layer.
+EXTRA_SPECS: dict[str, RunSpec] = {
+    "partitioned": RunSpec("heat", "tahoe-part", nvm_bandwidth_scaled(0.5), fast=True),
+}
+
+
+def _canonical_digest(payload: dict) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def reset_process_caches() -> None:
+    """Start from a cold process state so goldens are order-independent.
+
+    The platform-calibration cache is keyed by device *names* (as the
+    paper's per-platform offline step prescribes), so a run can reuse a
+    calibration computed for a same-named machine earlier in the process;
+    the golden checks pin the cold-process result instead.  The uid/tid
+    counters are process-global too, and absolute uid values steer the
+    iteration order of uid *sets* (and with it float summation order), so
+    they are rewound as well.
+    """
+    import itertools
+
+    from repro.core import knapsack, manager
+    from repro.tasking import dataobj, task
+
+    dataobj._uid_counter = itertools.count(1)
+    task._tid_counter = itertools.count(1)
+    manager._CALIBRATION_CACHE.clear()
+    clear_knapsack = getattr(knapsack, "clear_solver_cache", None)
+    if clear_knapsack is not None:
+        clear_knapsack()
+    try:
+        from repro.workloads.memo import clear_build_cache
+    except ImportError:  # pre-PR code path (golden generation)
+        pass
+    else:
+        clear_build_cache()
+
+
+@pytest.fixture(scope="module")
+def goldens() -> dict:
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def test_every_experiment_has_a_spot_spec() -> None:
+    from repro.experiments.registry import EXPERIMENTS
+
+    assert set(SPOT_SPECS) == set(EXPERIMENTS)
+
+
+@pytest.mark.parametrize("exp", sorted(SPOT_SPECS))
+def test_summary_matches_pre_pr_golden(exp: str, goldens: dict) -> None:
+    reset_process_caches()
+    golden = goldens[exp]
+    spec = SPOT_SPECS[exp]
+    assert spec.cache_key() == golden["cache_key"], (
+        f"{exp}: cache key drifted — cached pre-PR results became unreachable"
+    )
+    payload = run_and_summarize(spec).to_payload()
+    assert _canonical_digest(payload) == golden["payload_sha256"], (
+        f"{exp}: result payload differs from the pre-PR golden"
+    )
+    if exp in PINNED_FULL:
+        assert payload == golden["payload"]
+
+
+@pytest.mark.parametrize("key", sorted({**SPOT_SPECS, **EXTRA_SPECS}))
+def test_repeat_run_hits_memos_and_stays_exact(key: str) -> None:
+    spec = {**SPOT_SPECS, **EXTRA_SPECS}[key]
+    first = run_and_summarize(spec).to_payload()
+    second = run_and_summarize(spec).to_payload()
+    assert first == second, f"{key}: warm-memo rerun diverged from cold run"

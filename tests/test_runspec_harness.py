@@ -250,3 +250,84 @@ class TestRunWorkloadAPI:
         assert repro.RunSpec is RunSpec
         assert repro.run_many is run_many
         assert callable(repro.make_policy)
+
+
+class TestMixedFormatCache:
+    """JSON and binary entries must interoperate inside one directory."""
+
+    def test_cross_format_put_get(self, tmp_path):
+        d = tmp_path / "cache"
+        js = ResultCache(d, binary=False)
+        bz = ResultCache(d, binary=True)
+        js.put("alpha", {"makespan": 1.0})
+        bz.put("beta", {"makespan": 2.0, "trace": list(range(64))})
+        # Readers accept both formats regardless of write preference.
+        assert bz.get("alpha") == {"makespan": 1.0}
+        assert js.get("beta")["trace"] == list(range(64))
+        assert (d / "alpha.json").exists()
+        assert (d / "beta.jsonz").exists()
+
+    def test_put_supersedes_other_format_twin(self, tmp_path):
+        d = tmp_path / "cache"
+        js = ResultCache(d, binary=False)
+        bz = ResultCache(d, binary=True)
+        js.put("alpha", {"makespan": 1.0})
+        bz.put("alpha", {"makespan": 1.5})
+        assert not (d / "alpha.json").exists()
+        assert js.get("alpha") == {"makespan": 1.5}
+        js.put("alpha", {"makespan": 1.75})
+        assert not (d / "alpha.jsonz").exists()
+        assert bz.get("alpha") == {"makespan": 1.75}
+
+    def test_corrupt_binary_degrades_to_miss(self, tmp_path):
+        d = tmp_path / "cache"
+        bz = ResultCache(d, binary=True)
+        bz.put("beta", {"makespan": 2.0})
+        (d / "beta.jsonz").write_bytes(b"RPZ1" + b"\x00garbage")
+        assert bz.get("beta") is None
+        assert bz.misses == 1
+
+    def test_prune_over_mixed_set(self, tmp_path):
+        import os
+
+        d = tmp_path / "cache"
+        js = ResultCache(d, binary=False)
+        bz = ResultCache(d, binary=True)
+        for i, cache in enumerate([js, bz, js, bz]):
+            cache.put(f"k{i}", {"i": i})
+        # Deterministic LRU order regardless of filesystem timestamp
+        # resolution: k0 oldest ... k3 newest.
+        for i in range(4):
+            entry = d / (f"k{i}.jsonz" if i % 2 else f"k{i}.json")
+            os.utime(entry, (1000.0 + i, 1000.0 + i))
+        removed = js.prune(max_entries=2)
+        assert removed == 2
+        assert js.get("k0") is None and js.get("k1") is None
+        assert js.get("k2") == {"i": 2} and js.get("k3") == {"i": 3}
+
+    def test_invalidate_removes_both_twins(self, tmp_path):
+        import gzip
+        import json
+
+        d = tmp_path / "cache"
+        js = ResultCache(d, binary=False)
+        js.put("gamma", {"makespan": 3.0})
+        # Force a twin pair for one key (put would normally supersede).
+        blob = json.dumps({"makespan": 3.5}).encode("utf-8")
+        (d / "gamma.jsonz").write_bytes(b"RPZ1" + gzip.compress(blob, mtime=0))
+        assert js.entries() == 2
+        assert js.invalidate("gamma") == 2
+        assert js.get("gamma") is None
+
+    def test_stats_count_binary_entries(self, tmp_path):
+        d = tmp_path / "cache"
+        js = ResultCache(d, binary=False)
+        bz = ResultCache(d, binary=True)
+        js.put("a", {"x": 1})
+        bz.put("b", {"x": 2})
+        bz.put("c", {"x": 3})
+        st = js.stats()
+        assert st["entries"] == 3
+        assert st["binary_entries"] == 2
+        assert st["puts"] == 1 and bz.stats()["puts"] == 2
+        assert "2 binary" in js.describe()
