@@ -434,8 +434,8 @@ def _bench_main(argv: list[str]) -> int:
         parents=[_common_parser(("json",), "json")],
     )
     parser.add_argument(
-        "--out", metavar="PATH", default="BENCH_PR5.json",
-        help="output profile path (default: BENCH_PR5.json)",
+        "--out", metavar="PATH", default="BENCH_PR6.json",
+        help="output profile path (default: BENCH_PR6.json)",
     )
     parser.add_argument(
         "--reps", type=int, default=3, help="repetitions per cell (default: 3)"
@@ -455,6 +455,12 @@ def _bench_main(argv: list[str]) -> int:
         "PCT%% vs --baseline; pass a negative value to disable (default: 25)",
     )
     parser.add_argument(
+        "--phase-budget", action="append", default=[], metavar="PHASE=MAX",
+        help="absolute ceiling on one normalized phase (seconds summed over "
+        "all reps / calibration time), e.g. executor_loop=2.0; repeatable; "
+        "fails (exit 1) when exceeded, with or without --baseline",
+    )
+    parser.add_argument(
         "--profile", action="store_true",
         help="run the suite under cProfile and print the top 25 functions "
         "by cumulative time",
@@ -467,7 +473,23 @@ def _bench_main(argv: list[str]) -> int:
     args = parser.parse_args(argv)
     _apply_common(args)
 
-    from repro.metrics.bench import check_against_baseline, run_bench, write_profile
+    from repro.metrics.bench import (
+        check_against_baseline,
+        check_phase_budgets,
+        run_bench,
+        write_profile,
+    )
+
+    budgets: dict[str, float] = {}
+    for item in args.phase_budget:
+        phase, sep, value = item.partition("=")
+        try:
+            if not sep:
+                raise ValueError
+            budgets[phase.strip()] = float(value)
+        except ValueError:
+            print(f"bad --phase-budget {item!r} (want PHASE=MAX)", file=sys.stderr)
+            return 2
 
     profiling = args.profile or args.profile_out is not None
     profiler = None
@@ -502,8 +524,14 @@ def _bench_main(argv: list[str]) -> int:
     if args.baseline:
         phase_gate = args.phase_gate if args.phase_gate >= 0 else None
         ok, message = check_against_baseline(
-            profile, args.baseline, args.gate, phase_gate_pct=phase_gate
+            profile, args.baseline, args.gate, phase_gate_pct=phase_gate,
+            phase_budgets=budgets or None,
         )
+        print(message)
+        if not ok:
+            return 1
+    elif budgets:
+        ok, message = check_phase_budgets(profile, budgets)
         print(message)
         if not ok:
             return 1

@@ -7,10 +7,14 @@ defer tasks whose promotions are in flight) adds on top of the data
 manager, against FIFO and critical-path ordering.
 
 Expected shape: scheduling alone (memory-aware + NVM-only placement)
-changes nothing — there is nothing resident to prefer; the data manager
-alone captures most of the benefit; the combination is equal or slightly
-better, with fewer migration-induced stalls, and never worse than
-FIFO+manager by more than noise.
+changes nothing — there is nothing resident to prefer, so the ordering
+degenerates to FIFO; the data manager alone captures most of the benefit;
+critical-path ordering is placement-agnostic and never hurts.  Memory-
+aware ordering is *not* uniformly safe: it scores tasks once at enable
+time, so on DAGs with long dependency chains (sparselu) deferring a
+cold-data task can delay the chain behind it and cost more than the
+avoided stalls — the co-design needs re-scoring or bounded deferral to be
+a pure win.
 """
 
 from __future__ import annotations
@@ -69,9 +73,11 @@ def run(
     result.tables = [table]
     result.notes = (
         "Expected: placement does the heavy lifting; ready-policy choice only\n"
-        "matters when the DAG leaves slack (sparselu: ~6% from informed\n"
-        "ordering), and memory-aware ordering never hurts; scheduling without\n"
-        "placement recovers nothing."
+        "matters when the DAG leaves slack.  Critical-path ordering never\n"
+        "hurts (placement-agnostic rank).  Memory-aware ordering scores at\n"
+        "enable time, so on chain-heavy DAGs (sparselu) it can defer a\n"
+        "critical cold-data task and lose more than it saves; scheduling\n"
+        "without placement recovers nothing (nothing resident to prefer)."
     )
     return result
 

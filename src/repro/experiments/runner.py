@@ -38,10 +38,9 @@ from repro.memory.hms import HeterogeneousMemorySystem
 from repro.memory.presets import dram as dram_preset
 from repro.tasking.executor import Executor, ExecutorConfig
 from repro.tasking.scheduler import (
-    CriticalPathPolicy,
-    FIFOPolicy,
-    MemoryAwarePolicy,
+    SCHEDULERS,
     SchedulingPolicy,
+    make_scheduler,
 )
 from repro.tasking.trace import ExecutionTrace
 from repro.util.tables import Table
@@ -154,14 +153,6 @@ POLICIES: dict[str, Callable[..., Any]] = {
     "tahoe-part": _tahoe(partition_max_bytes=32 * MIB, name="tahoe-part"),
 }
 
-#: Ready-task ordering policies selectable per :class:`RunSpec`.
-SCHEDULERS: dict[str, Callable[[], SchedulingPolicy]] = {
-    "fifo": FIFOPolicy,
-    "critical-path": CriticalPathPolicy,
-    "memory-aware": MemoryAwarePolicy,
-}
-
-
 def _unknown(kind: str, name: str, known: dict[str, Any]) -> KeyError:
     suggestions = difflib.get_close_matches(name, known, n=3, cutoff=0.4)
     hint = f"; did you mean {' or '.join(map(repr, suggestions))}?" if suggestions else ""
@@ -182,14 +173,6 @@ def make_policy(name: str, /, **overrides: Any) -> Any:
     return factory(**overrides)
 
 
-def make_scheduler(name: str) -> SchedulingPolicy:
-    try:
-        factory = SCHEDULERS[name]
-    except KeyError:
-        raise _unknown("scheduler", name, SCHEDULERS) from None
-    return factory()
-
-
 # ----------------------------------------------------------------------
 # Spec execution
 # ----------------------------------------------------------------------
@@ -200,7 +183,7 @@ def _build_machine(spec: RunSpec, total_bytes: int) -> tuple[MemoryDevice, Execu
     else:
         dram_dev = dram_preset(spec.dram_capacity)
 
-    cfg = ExecutorConfig(n_workers=spec.n_workers)
+    cfg = ExecutorConfig(n_workers=spec.n_workers, scheduler=spec.scheduler)
     exec_kw = spec.exec_kwargs
     if spec.seed is not None:
         exec_kw["seed"] = int(spec.seed)
@@ -246,9 +229,9 @@ def _execute(spec: RunSpec, telemetry: Any = None) -> tuple[ExecutionTrace, Memo
         from repro.metrics.telemetry import Telemetry
 
         telemetry = Telemetry(spec.telemetry)
-    trace = Executor(
-        hms, cfg, make_scheduler(spec.scheduler), injector=injector, telemetry=telemetry
-    ).run(graph, policy)
+    trace = Executor(hms, cfg, injector=injector, telemetry=telemetry).run(
+        graph, policy
+    )
     trace.meta.update(
         workload=spec.workload,
         policy=policy.name,

@@ -100,13 +100,40 @@ class EnergyReport:
         model = model or EnergyModel()
         devices = {dram.name: dram, nvm.name: nvm}
         rep = cls()
+        # Hot accounting loop: one (read_coef, write_coef, is_nvm) triple
+        # per residency name replaces the per-access device dispatch, and
+        # the per-access traffic comes straight from the cached-property
+        # slots.  Accumulation order is unchanged, so the totals are
+        # bitwise what the naive loop produced.
+        coef = {
+            name: (
+                (model.dram_read_energy, model.dram_write_energy, False)
+                if dev.kind is DeviceKind.DRAM
+                else (model.nvm_read_energy, model.nvm_write_energy, True)
+            )
+            for name, dev in devices.items()
+        }
+        default_coef = coef[nvm.name]
+        dynamic_j = 0.0
+        nvm_written = 0.0
+        nvm_name = nvm.name
+        coef_get = coef.get
         for rec in trace.records:
+            res_get = rec.residency.get
             for obj, acc in rec.task.accesses.items():
-                dev = devices.get(rec.residency.get(obj.uid, nvm.name), nvm)
-                rb, wb = acc.read_traffic_bytes, acc.write_traffic_bytes
-                rep.dynamic_j += model.access_energy(dev, rb, wb)
-                if dev.kind is DeviceKind.NVM:
-                    rep.nvm_bytes_written += wb
+                re_, we_, is_nvm = coef_get(res_get(obj.uid, nvm_name), default_coef)
+                slots = acc.__dict__
+                rb = slots.get("read_traffic_bytes")
+                if rb is None:
+                    rb = acc.read_traffic_bytes
+                wb = slots.get("write_traffic_bytes")
+                if wb is None:
+                    wb = acc.write_traffic_bytes
+                dynamic_j += rb * re_ + wb * we_
+                if is_nvm:
+                    nvm_written += wb
+        rep.dynamic_j = dynamic_j
+        rep.nvm_bytes_written = nvm_written
         if trace.migrations is not None:
             for m in trace.migrations.records:
                 src = devices.get(m.src, nvm)

@@ -64,6 +64,11 @@ class HeterogeneousMemorySystem:
         }
         self._placements: dict[int, Placement] = {}
         self._objects: dict[int, Placeable] = {}
+        #: Monotonic placement version: bumped whenever any object's
+        #: residency changes (allocate / move / free).  Cheap change
+        #: detection for callers that snapshot placements (the executor's
+        #: dispatch loop reuses its residency pass while this holds).
+        self._version = 0
         #: uids whose DRAM copy has been written since promotion.  A clean
         #: DRAM resident still matches its NVM shadow, so evicting it needs
         #: no copy — the write-back optimization real tiering runtimes use.
@@ -148,6 +153,7 @@ class HeterogeneousMemorySystem:
         pl = Placement(name, offset, obj.size_bytes)
         self._placements[obj.uid] = pl
         self._objects[obj.uid] = obj
+        self._version += 1
         if self.metrics is not None:
             self.metrics.counter(
                 "hms_allocations_total", {"device": name},
@@ -160,6 +166,7 @@ class HeterogeneousMemorySystem:
         pl = self._placements.pop(obj.uid)
         self._objects.pop(obj.uid)
         self._allocators[pl.device].free(pl.offset)
+        self._version += 1
 
     def move(self, obj: Placeable, device: MemoryDevice | str) -> Placement:
         """Re-place the object on ``device`` (no-op if already there).
@@ -176,6 +183,7 @@ class HeterogeneousMemorySystem:
         self._allocators[old.device].free(old.offset)
         pl = Placement(name, offset, obj.size_bytes)
         self._placements[obj.uid] = pl
+        self._version += 1
         # A fresh DRAM copy starts clean; leaving DRAM drops dirty state.
         self._dirty.discard(obj.uid)
         if self.metrics is not None:

@@ -115,6 +115,11 @@ class MigrationEngine:
         self._lane_free_at: float = 0.0
         self._available_at: dict[int, float] = {}
         self._last_record: dict[int, MigrationRecord] = {}
+        #: Per-object stack of completed-but-not-yet-first-used records:
+        #: ``note_first_use`` stamps the newest unstamped record, which is
+        #: exactly the top of this stack (records are pushed in lane order
+        #: and failed copies are never pushed).
+        self._pending_first_use: dict[int, list[MigrationRecord]] = {}
         self.records: list[MigrationRecord] = []
         #: Optional telemetry registry (attached per run when enabled).
         self.metrics: "MetricsRegistry | None" = None
@@ -189,6 +194,7 @@ class MigrationEngine:
         if not failed:
             self._available_at[obj_uid] = end
             self._last_record[obj_uid] = rec
+            self._pending_first_use.setdefault(obj_uid, []).append(rec)
         if self.metrics is not None:
             lane = {"src": src.name, "dst": dst.name}
             self.metrics.counter(
@@ -249,11 +255,14 @@ class MigrationEngine:
 
     def note_first_use(self, obj_uid: int, time: float) -> None:
         """Record when the application first touched the object after its
-        latest migration; drives the %overlap statistic."""
-        for rec in reversed(self.records):
-            if rec.obj_uid == obj_uid and not rec.failed and rec.needed_by == float("inf"):
-                rec.needed_by = time
-                break
+        latest migration; drives the %overlap statistic.
+
+        Stamps the newest not-yet-stamped copy of the object (O(1) via the
+        pending stack — equivalent to scanning ``records`` backwards for
+        the latest non-failed record with an unset ``needed_by``)."""
+        pending = self._pending_first_use.get(obj_uid)
+        if pending:
+            pending.pop().needed_by = time
 
     # ------------------------------------------------------------------
     # Statistics (Table-5 analogues)

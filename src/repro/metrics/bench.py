@@ -14,8 +14,9 @@ Host wall clock is machine-dependent, so the profile also stores every
 time normalized by a calibration primitive (a fixed pure-Python loop
 timed on the same machine); regression gates compare normalized totals
 so a slower CI runner does not read as a regression.  The profile is
-plain JSON (``BENCH_PR4.json`` by convention); ``check_against_baseline``
-implements the CI gate.
+plain JSON (``BENCH_PR6.json`` by convention); ``check_against_baseline``
+implements the relative CI gate and ``check_phase_budgets`` the absolute
+per-phase ceilings (e.g. the executor-core ``executor_loop`` budget).
 """
 
 from __future__ import annotations
@@ -30,6 +31,7 @@ __all__ = [
     "run_bench",
     "write_profile",
     "check_against_baseline",
+    "check_phase_budgets",
 ]
 
 PROFILE_VERSION = 1
@@ -89,6 +91,40 @@ class _TimedPolicy:
             self._clock.add("placement", perf_counter() - t0)
 
 
+def _timed_policy(inner: Any, clock: _PhaseClock) -> Any:
+    """Wrap ``inner`` so its placement work bills to the placement phase.
+
+    Policies whose per-task hooks are the no-op ``BasePolicy``
+    implementations get a shim that times only ``on_run_start`` and
+    *inherits* the no-op hooks: wrapping those too would both bill pure
+    proxy overhead as placement time and — because the executor detects
+    trivial hooks by identity — knock static-placement runs off the fast
+    path the product actually takes."""
+    from repro.baselines.policies import BasePolicy
+
+    cls = type(inner)
+    if (
+        cls.before_task is BasePolicy.before_task
+        and cls.after_task is BasePolicy.after_task
+    ):
+
+        class _TimedStaticPolicy(BasePolicy):
+            name = inner.name
+
+            def __getattr__(self, name: str) -> Any:
+                return getattr(inner, name)
+
+            def on_run_start(self, ctx: Any) -> None:
+                t0 = perf_counter()
+                try:
+                    return inner.on_run_start(ctx)
+                finally:
+                    clock.add("placement", perf_counter() - t0)
+
+        return _TimedStaticPolicy()
+    return _TimedPolicy(inner, clock)
+
+
 def calibrate(passes: int = 3) -> float:
     """Best-of-N timing of a fixed pure-Python primitive (seconds).
 
@@ -114,7 +150,6 @@ def _bench_one(workload: str, policy_name: str, seed: int | None,
     from repro.experiments.runner import (
         _build_machine,
         make_policy,
-        make_scheduler,
         workload_params,
     )
     from repro.experiments.spec import RunResult, RunSpec
@@ -148,9 +183,7 @@ def _bench_one(workload: str, policy_name: str, seed: int | None,
 
     placement_before = clock.seconds["placement"]
     t0 = perf_counter()
-    trace = Executor(hms, cfg, make_scheduler(spec.scheduler)).run(
-        graph, _TimedPolicy(policy, clock)
-    )
+    trace = Executor(hms, cfg).run(graph, _timed_policy(policy, clock))
     run_wall = perf_counter() - t0
     placement_in_run = clock.seconds["placement"] - placement_before
     clock.add("executor_loop", max(0.0, run_wall - placement_in_run))
@@ -225,6 +258,7 @@ def check_against_baseline(
     baseline_path: str | Path,
     gate_pct: float = 20.0,
     phase_gate_pct: float | None = 25.0,
+    phase_budgets: dict[str, float] | None = None,
 ) -> tuple[bool, str]:
     """Compare normalized totals (and per-phase times) against a baseline.
 
@@ -236,6 +270,14 @@ def check_against_baseline(
     The total comparison uses the fastest complete rep (noise-robust
     against transient host load) normalized by the calibration primitive
     (comparable across machine speeds).
+
+    ``phase_budgets`` adds *absolute* ceilings on top of the relative
+    gates: a mapping of phase name to the maximum allowed normalized
+    phase time (the profile's ``normalized_phases`` value, i.e. seconds
+    summed over every rep divided by the calibration time).  Unlike the
+    relative gates, a budget holds even if the checked-in baseline
+    drifts upward — it pins the performance contract itself (e.g. the
+    executor-core rewrite's ``executor_loop < 2.0``).
     """
     baseline = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
 
@@ -273,4 +315,36 @@ def check_against_baseline(
                 f"  phase {phase}: {n:.2f} vs {b:.2f} "
                 f"({phase_delta:+.1f}%) -- {phase_verdict}"
             )
+
+    if phase_budgets:
+        budgets_ok, budget_lines = check_phase_budgets(profile, phase_budgets)
+        if not budgets_ok:
+            ok = False
+        lines.extend("  " + ln for ln in budget_lines.splitlines())
+    return ok, "\n".join(lines)
+
+
+def check_phase_budgets(
+    profile: dict[str, Any], phase_budgets: dict[str, float]
+) -> tuple[bool, str]:
+    """Check absolute per-phase ceilings; see ``check_against_baseline``.
+
+    Each budget bounds the profile's ``normalized_phases`` value (phase
+    seconds summed over every rep, divided by the calibration time).
+    Usable standalone — unlike the relative gates it needs no baseline.
+    """
+    ok = True
+    lines = []
+    now_phases = profile.get("normalized_phases") or {}
+    for phase, budget in sorted(phase_budgets.items()):
+        if phase not in PHASES:
+            ok = False
+            lines.append(f"budget {phase}: unknown phase -- FAIL")
+            continue
+        n = float(now_phases.get(phase, 0.0))
+        budget_ok = n <= budget
+        if not budget_ok:
+            ok = False
+        verdict = "ok" if budget_ok else "OVER BUDGET"
+        lines.append(f"budget {phase}: {n:.2f} vs ceiling {budget:.2f} -- {verdict}")
     return ok, "\n".join(lines)

@@ -104,6 +104,19 @@ class ObjectAccess:
         if self.span is not None:
             lo, hi = self.span
             require(0.0 <= lo < hi <= 1.0, f"invalid span {self.span}")
+        # Pre-fill the derived-traffic values the timing loops read.  The
+        # instance ``__dict__`` entries shadow the (non-data) cached_property
+        # descriptors, so the properties below become plain dict reads and
+        # the per-miss descriptor/lock machinery never runs.  Expressions
+        # mirror the property bodies exactly, so the floats are bitwise the
+        # same as a lazy first read would produce.
+        d = self.__dict__
+        miss = 1.0 - self.pattern.hit_ratio
+        d["accesses"] = self.loads + self.stores
+        ml = d["miss_loads"] = self.loads * miss
+        ms = d["miss_stores"] = self.stores * miss
+        d["read_traffic_bytes"] = ml * CACHELINE_BYTES
+        d["write_traffic_bytes"] = ms * CACHELINE_BYTES
 
     # ------------------------------------------------------------------
     # Derived traffic
@@ -134,24 +147,16 @@ class ObjectAccess:
     # ------------------------------------------------------------------
     # Ground-truth timing (roofline-style: max of latency and bandwidth laws)
     # ------------------------------------------------------------------
-    def memory_time(
-        self,
-        device: MemoryDevice,
-        bw_slowdown: float = 1.0,
-        lat_slowdown: float = 1.0,
-    ) -> float:
-        """Time this footprint spends in main memory on ``device``.
+    def base_times(self, device: MemoryDevice) -> tuple[float, float]:
+        """The unscaled (latency, bandwidth) time pair on ``device``.
 
-        ``bw_slowdown`` (>= 1) is the contention multiplier applied to the
-        bandwidth term only: queueing inflates streaming, not the exposed
-        latency of dependent accesses.  ``lat_slowdown`` (>= 1) scales the
-        latency term instead — injected device degradation (wear/thermal
-        throttling) slows both laws, unlike contention.
-
-        The unscaled (latency, bandwidth) pair is a pure function of this
-        footprint and the device's four timing parameters, so it is
-        memoized per timing signature; only the slowdown scaling and the
-        roofline max run per call.
+        A pure function of this footprint and the device's four timing
+        parameters, memoized per timing signature.  The executor's
+        precomputed timing rows read these once per (footprint, device)
+        and apply the roofline max inline — ``max(lat, bw * slowdown)``
+        is bit-identical to :meth:`memory_time` with the default
+        ``lat_slowdown`` because ``lat * 1.0 == lat`` for every finite
+        nonnegative float.
         """
         key = (
             device.read_latency_s,
@@ -173,8 +178,23 @@ class ObjectAccess:
                 self.read_traffic_bytes, self.write_traffic_bytes
             )
             base = cache[key] = (lat, bw)
-        else:
-            lat, bw = base
+        return base
+
+    def memory_time(
+        self,
+        device: MemoryDevice,
+        bw_slowdown: float = 1.0,
+        lat_slowdown: float = 1.0,
+    ) -> float:
+        """Time this footprint spends in main memory on ``device``.
+
+        ``bw_slowdown`` (>= 1) is the contention multiplier applied to the
+        bandwidth term only: queueing inflates streaming, not the exposed
+        latency of dependent accesses.  ``lat_slowdown`` (>= 1) scales the
+        latency term instead — injected device degradation (wear/thermal
+        throttling) slows both laws, unlike contention.
+        """
+        lat, bw = self.base_times(device)
         return max(lat * lat_slowdown, bw * bw_slowdown)
 
     def scaled(self, factor: float) -> "ObjectAccess":

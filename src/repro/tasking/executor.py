@@ -12,6 +12,14 @@ virtual time:
 - software overhead charged by the placement policy (profiling, modeling,
   queue synchronization) — the "pure runtime cost" of the paper.
 
+The core is array-shaped: task state lives in structure-of-arrays form
+(numpy unresolved-dependency counts, ready/dispatch/finish timestamps and
+worker free times indexed by the graph's dense spawn order, see
+:meth:`TaskGraph.exec_core`), and per-task access rows carry precomputed
+base (latency, bandwidth) times for both tiers so the dispatch loop never
+re-derives timing from Python object traversal.  Completions drain from a
+flat event heap ordered by the deterministic ``(finish, tid)`` tie-break.
+
 Placement policies implement :class:`PlacementPolicy` and interact with
 the machine only through :class:`ExecContext`; in particular they never
 read ground-truth footprints — profiling goes through the sampling
@@ -24,13 +32,15 @@ import heapq
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
+import numpy as np
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
     from repro.metrics.telemetry import Telemetry
 
 from repro.memory.cache import DRAMCacheModel
 from repro.memory.contention import ContentionModel
-from repro.memory.device import DeviceKind, MemoryDevice
+from repro.memory.device import MemoryDevice
 from repro.memory.hms import HeterogeneousMemorySystem
 from repro.memory.migration import (
     DEFAULT_MIGRATION_OVERHEAD_S,
@@ -39,16 +49,22 @@ from repro.memory.migration import (
 )
 from repro.tasking.dataobj import DataObject
 from repro.tasking.graph import TaskGraph
-from repro.tasking.scheduler import FIFOPolicy, SchedulingPolicy
+from repro.tasking.scheduler import FIFOPolicy, SchedulingPolicy, make_scheduler
 from repro.tasking.task import Task
 from repro.tasking.trace import ExecutionTrace, TaskRecord
+from repro.util.deprecation import warn_deprecated
 
 __all__ = ["ExecutorConfig", "ExecContext", "PlacementPolicy", "Executor"]
 
 
 @dataclass(frozen=True)
 class ExecutorConfig:
-    """Knobs of the simulated machine."""
+    """Knobs of the simulated machine.
+
+    This is the single configuration object of the execution API: every
+    machine knob, including the ready-queue scheduler, is carried here and
+    nowhere else.
+    """
 
     n_workers: int = 4
     contention: ContentionModel = field(default_factory=ContentionModel)
@@ -64,6 +80,10 @@ class ExecutorConfig:
     cpu_ghz: float = 2.4
     seed: int = 12345
     migration_overhead_s: float = DEFAULT_MIGRATION_OVERHEAD_S
+    #: Ready-queue ordering: a :class:`SchedulingPolicy` instance, a name
+    #: registered in :data:`repro.tasking.scheduler.SCHEDULERS`, or ``None``
+    #: for the FIFO default.
+    scheduler: "SchedulingPolicy | str | None" = None
 
 
 @runtime_checkable
@@ -84,8 +104,173 @@ class PlacementPolicy(Protocol):
         Returns software overhead (seconds) charged to the worker."""
 
 
+def _timing_rows(
+    graph: TaskGraph, dram: MemoryDevice, nvm: MemoryDevice
+) -> tuple[tuple, ...]:
+    """Per-task access rows with precomputed per-tier base times.
+
+    One ``(rows, traffic, writer_uids)`` triple per dense task index:
+
+    - ``rows``: ``(uid, writes, has_traffic, lat_dram, bw_dram, lat_nvm,
+      bw_nvm)`` for every access — the base (latency, bandwidth) pairs
+      are exactly what ``access.memory_time`` would derive for each tier,
+      so the dispatch loop reduces every access to
+      ``max(lat * lat_slowdown, bw * bw_slowdown)`` without touching the
+      access object;
+    - ``traffic``: the ``(uid, writes)`` projection of the rows that
+      actually move bytes — the migration stall pass reads nothing else;
+    - ``writer_uids``: traffic rows that write, for the dirty-bit pass.
+
+    Memoized on the graph, keyed by structure version and both tiers'
+    timing parameters.
+    """
+    key = (
+        graph._version,
+        dram.read_latency_s,
+        dram.write_latency_s,
+        dram.read_bandwidth,
+        dram.write_bandwidth,
+        nvm.read_latency_s,
+        nvm.write_latency_s,
+        nvm.read_bandwidth,
+        nvm.write_bandwidth,
+    )
+    memo = graph.__dict__.get("_exec_timing_memo")
+    if memo is not None and memo[0] == key:
+        return memo[1]
+
+    # Device-independent traffic matrix, flattened across tasks: one
+    # column per access row holding the operands of the two timing laws.
+    # Built once per graph version — retiming the same graph for another
+    # machine (bench cells, NVM sweeps) reuses it and pays only the two
+    # vectorized law evaluations below.
+    from repro.memory.device import MISS_BASE_LATENCY_S
+    from repro.util.units import CACHELINE_BYTES
+
+    tm = graph.__dict__.get("_exec_traffic_memo")
+    if tm is None or tm[0] != graph._version:
+        counts: list[int] = []
+        uids: list[int] = []
+        writes_l: list[bool] = []
+        has_l: list[bool] = []
+        traffic_all: list[tuple] = []
+        writers_all: list[tuple] = []
+        loads: list[int] = []
+        stores: list[int] = []
+        hits: list[float] = []
+        mlps: list[float] = []
+        for t in graph.exec_core().tasks:
+            n = 0
+            traffic: list[tuple[int, bool]] = []
+            writer_uids: list[int] = []
+            for _obj, acc, uid, writes, has_traffic in t.exec_rows():
+                n += 1
+                uids.append(uid)
+                writes_l.append(writes)
+                has_l.append(has_traffic)
+                if has_traffic:
+                    traffic.append((uid, writes))
+                    if writes:
+                        writer_uids.append(uid)
+                pat = acc.pattern
+                loads.append(acc.loads)
+                stores.append(acc.stores)
+                hits.append(pat.hit_ratio)
+                mlps.append(pat.mlp)
+            counts.append(n)
+            traffic_all.append(tuple(traffic))
+            writers_all.append(tuple(writer_uids))
+        miss_loads = np.array(loads, dtype=np.float64) * (
+            1.0 - np.array(hits, dtype=np.float64)
+        )
+        miss_stores = np.array(stores, dtype=np.float64) * (
+            1.0 - np.array(hits, dtype=np.float64)
+        )
+        tm = graph._exec_traffic_memo = (
+            graph._version,
+            counts,
+            uids,
+            writes_l,
+            has_l,
+            traffic_all,
+            writers_all,
+            miss_loads,
+            miss_stores,
+            miss_loads * CACHELINE_BYTES,
+            miss_stores * CACHELINE_BYTES,
+            np.array(mlps, dtype=np.float64),
+        )
+    (
+        _ver,
+        counts,
+        uids,
+        writes_l,
+        has_l,
+        traffic_all,
+        writers_all,
+        miss_loads,
+        miss_stores,
+        read_tb,
+        write_tb,
+        mlp,
+    ) = tm
+
+    def law_times(dev: MemoryDevice) -> tuple[list[float], list[float]]:
+        # Same expression shape as ObjectAccess.base_times resolves to
+        # (device.latency_time / device.bandwidth_time), evaluated
+        # elementwise: IEEE-754 ops in the same order, so every pair is
+        # bitwise what the scalar path produced.
+        lat = (
+            miss_loads * (MISS_BASE_LATENCY_S + dev.read_latency_s)
+            + miss_stores * (MISS_BASE_LATENCY_S + dev.write_latency_s)
+        ) / mlp
+        bw = read_tb / dev.read_bandwidth + write_tb / dev.write_bandwidth
+        return lat.tolist(), bw.tolist()
+
+    lat_ds, bw_ds = law_times(dram)
+    lat_ns, bw_ns = law_times(nvm)
+
+    rows_flat = list(zip(uids, writes_l, has_l, lat_ds, bw_ds, lat_ns, bw_ns))
+    rows_all = []
+    pos = 0
+    for ti, n in enumerate(counts):
+        rows_all.append(
+            (tuple(rows_flat[pos : pos + n]), traffic_all[ti], writers_all[ti])
+        )
+        pos += n
+    rows_all = tuple(rows_all)
+    graph._exec_timing_memo = (key, rows_all)
+    return rows_all
+
+
+_TRIVIAL_HOOKS: tuple | None = None
+
+
+def _trivial_hook_impls() -> tuple:
+    """The no-op ``before_task``/``after_task`` implementations.
+
+    A policy whose hook methods *are* these (by identity, not behavior)
+    provably cannot charge overhead, migrate data, or observe mid-run
+    state — the precondition for the executor's static fast path.
+    Resolved lazily: ``repro.baselines`` imports this module.
+    """
+    global _TRIVIAL_HOOKS
+    if _TRIVIAL_HOOKS is None:
+        from repro.baselines.policies import BasePolicy
+
+        _TRIVIAL_HOOKS = (BasePolicy.before_task, BasePolicy.after_task)
+    return _TRIVIAL_HOOKS
+
+
 class ExecContext:
-    """The window through which a placement policy sees the machine."""
+    """The window through which a placement policy sees the machine.
+
+    The context is a *view* over the executor's structure-of-arrays state:
+    the lookahead frontier is a dense boolean dispatched mask plus a
+    spawn-order cursor, and :meth:`upcoming_view` / :meth:`remaining_view`
+    materialize tuples straight from it.  This surface is frozen — see
+    ``docs/architecture.md`` §10 and ``tests/test_public_api.py``.
+    """
 
     def __init__(
         self,
@@ -105,10 +290,16 @@ class ExecContext:
         #: finish time of the latest dispatched task touching each object —
         #: the earliest dependency-safe start for a migration of that object.
         self.last_use_finish: dict[int, float] = {}
-        #: spawn-order index of the first not-yet-dispatched task; together
-        #: with ``_dispatched`` this defines the lookahead frontier.
+        core = graph.exec_core()
+        self._core = core
+        #: dense dispatched mask + spawn-order cursor of the first
+        #: not-yet-dispatched task; together they define the lookahead
+        #: frontier the views are computed from.
+        self._dispatched_mask = [False] * len(core.tasks)
         self._next_index = 0
-        self._dispatched: set[int] = set()
+        #: Bumped per dispatch; versions the cached remaining view.
+        self._epoch = 0
+        self._remaining_cache: tuple[int, tuple[Task, ...]] | None = None
         from repro.profiling.sampler import SamplingProfiler
 
         self._profiler = SamplingProfiler(
@@ -210,23 +401,54 @@ class ExecContext:
             )
         return rec
 
-    def upcoming(self, window: int) -> list[Task]:
+    def upcoming_view(self, window: int) -> tuple[Task, ...]:
         """The next ``window`` not-yet-dispatched tasks in spawn order —
-        the lookahead the proactive migration mechanism works with."""
+        the lookahead the proactive migration mechanism works with.
+
+        Computed from the dispatched mask starting at the frontier cursor,
+        so the scan cost is bounded by the lookahead depth plus the (small)
+        band of out-of-order dispatches, not the graph size."""
         out: list[Task] = []
-        for t in self.graph.tasks[self._next_index :]:
-            if t.tid not in self._dispatched:
-                out.append(t)
+        mask = self._dispatched_mask
+        tasks = self._core.tasks
+        for i in range(self._next_index, len(tasks)):
+            if not mask[i]:
+                out.append(tasks[i])
                 if len(out) >= window:
                     break
-        return out
+        return tuple(out)
+
+    def remaining_view(self) -> tuple[Task, ...]:
+        """Every not-yet-dispatched task in spawn order.
+
+        Cached per dispatch epoch: repeated calls between dispatches (a
+        policy replanning from several angles) cost one tuple build."""
+        cached = self._remaining_cache
+        if cached is not None and cached[0] == self._epoch:
+            return cached[1]
+        tasks = self._core.tasks
+        mask = self._dispatched_mask
+        rem = tuple(
+            tasks[i] for i in range(self._next_index, len(tasks)) if not mask[i]
+        )
+        self._remaining_cache = (self._epoch, rem)
+        return rem
+
+    def upcoming(self, window: int) -> list[Task]:
+        """Deprecated list form of :meth:`upcoming_view` (one release)."""
+        warn_deprecated(
+            "ExecContext.upcoming() is deprecated and will be removed in the "
+            "next release; use ExecContext.upcoming_view(window) instead"
+        )
+        return list(self.upcoming_view(window))
 
     def remaining(self) -> list[Task]:
-        return [
-            t
-            for t in self.graph.tasks[self._next_index :]
-            if t.tid not in self._dispatched
-        ]
+        """Deprecated list form of :meth:`remaining_view` (one release)."""
+        warn_deprecated(
+            "ExecContext.remaining() is deprecated and will be removed in the "
+            "next release; use ExecContext.remaining_view() instead"
+        )
+        return list(self.remaining_view())
 
     def profile(self, task: Task, record: TaskRecord):
         """Sample the task through the emulated hardware counters.
@@ -253,19 +475,21 @@ class ExecContext:
     # Executor-side bookkeeping
     # ------------------------------------------------------------------
     def _note_dispatch(self, task: Task, finish: float) -> None:
+        luf = self.last_use_finish
         for obj in task.accesses:
-            prev = self.last_use_finish.get(obj.uid, 0.0)
+            uid = obj.uid
+            prev = luf.get(uid, 0.0)
             if finish > prev:
-                self.last_use_finish[obj.uid] = finish
+                luf[uid] = finish
+        mask = self._dispatched_mask
+        mask[self._core.index[task.tid]] = True
+        self._epoch += 1
         # Advance the spawn-order frontier past the dispatched prefix.
-        self._dispatched.add(task.tid)
-        tasks = self.graph.tasks
-        while (
-            self._next_index < len(tasks)
-            and tasks[self._next_index].tid in self._dispatched
-        ):
-            self._dispatched.discard(tasks[self._next_index].tid)
-            self._next_index += 1
+        n = len(self._core.tasks)
+        i = self._next_index
+        while i < n and mask[i]:
+            i += 1
+        self._next_index = i
 
 
 class Executor:
@@ -278,10 +502,29 @@ class Executor:
         scheduler: SchedulingPolicy | None = None,
         injector: "FaultInjector | None" = None,
         telemetry: "Telemetry | None" = None,
+        **legacy,
     ):
+        if legacy:
+            names = ", ".join(sorted(legacy))
+            raise TypeError(
+                f"Executor() got unexpected keyword argument(s): {names}. "
+                "Machine knobs live on the configuration object — pass "
+                "Executor(hms, ExecutorConfig(...)) instead."
+            )
         self.hms = hms
         self.config = config or ExecutorConfig()
-        self.scheduler = scheduler or FIFOPolicy()
+        sched = scheduler
+        if sched is not None:
+            warn_deprecated(
+                "passing a scheduler directly to Executor(...) is deprecated "
+                "and will be removed in the next release; set "
+                "ExecutorConfig(scheduler=...) instead"
+            )
+        else:
+            sched = self.config.scheduler
+        if isinstance(sched, str):
+            sched = make_scheduler(sched)
+        self.scheduler: SchedulingPolicy = sched if sched is not None else FIFOPolicy()
         #: Optional fault injector (see :mod:`repro.faults`); ``None``
         #: leaves every timing and migration path byte-identical to a
         #: fault-free build.
@@ -295,15 +538,47 @@ class Executor:
         cfg = self.config
         injector = self.injector
         telemetry = self.telemetry
+        hms = self.hms
+
+        # Static baselines (trivial hooks, no injector/telemetry/cache
+        # mode) cannot change placement or schedule copies after
+        # ``on_run_start``: residency, per-row tier timings, and touched
+        # sets are run constants, and a specialized loop computes the
+        # byte-identical trace at a fraction of the cost.
+        if injector is None and telemetry is None and cfg.dram_cache is None:
+            t_before, t_after = _trivial_hook_impls()
+            if (
+                type(policy).before_task is t_before
+                and type(policy).after_task is t_after
+            ):
+                return self._run_static(graph, policy)
         engine = MigrationEngine(overhead_s=cfg.migration_overhead_s, injector=injector)
-        ctx = ExecContext(graph, self.hms, engine, cfg)
+        ctx = ExecContext(graph, hms, engine, cfg)
         ctx.telemetry = telemetry
 
-        # (free_at, worker_id) heap and (finish, tid) completion heap.
-        workers = [(0.0, w) for w in range(cfg.n_workers)]
-        heapq.heapify(workers)
-        completions: list[tuple[float, int]] = []
-        running: list[tuple[float, Task, frozenset[str]]] = []  # (finish, task, devices)
+        core = graph.exec_core()
+        tasks = core.tasks
+        index = core.index
+        succ = core.succ
+        n_total = len(tasks)
+        nw = cfg.n_workers
+
+        # Structure-of-arrays task/worker state, indexed by dense spawn
+        # order (workers by worker id).
+        indeg = core.indeg0.copy()  # unresolved-dependency counts
+        ready_at = np.zeros(n_total, dtype=np.float64)
+        dispatch_t = np.full(n_total, -1.0, dtype=np.float64)
+        finish_t = np.full(n_total, -1.0, dtype=np.float64)
+        worker_free = np.zeros(nw, dtype=np.float64)
+
+        # Flat event heap of (finish, tid, dense_index): the (finish, tid)
+        # prefix is the deterministic drain order; tids are unique so the
+        # dense index is never compared.
+        completions: list[tuple[float, int, int]] = []
+        # Min-heap of (finish, tid, devices) for tasks still streaming,
+        # with per-device stream counts maintained incrementally (the
+        # drained-prefix pop below replaces a per-dispatch rebuild).
+        running: list[tuple[float, int, frozenset[str]]] = []
         records: list[TaskRecord] = []
 
         if telemetry is not None:
@@ -312,18 +587,20 @@ class Executor:
             # ``running`` list — exact at any virtual time because machine
             # state only changes at events.
             def busy_workers(t: float) -> float:
-                return float(sum(1 for f, _, _ in running if f > t))
+                return float(sum(1 for f, _tid, _d in running if f > t))
 
             def active_streams(device: str, t: float) -> int:
-                return sum(1 for f, _, devs in running if f > t and device in devs)
+                return sum(
+                    1 for f, _tid, devs in running if f > t and device in devs
+                )
 
             # Export-side uid normalization: uids come from a process-global
             # counter, so digest equality across runs needs per-run ids.
             telemetry.uid_map = {obj.uid: i for i, obj in enumerate(graph.objects)}
             telemetry.begin_run(
-                self.hms,
+                hms,
                 engine,
-                cfg.n_workers,
+                nw,
                 busy_workers=busy_workers,
                 active_streams=active_streams,
                 bandwidth_share=cfg.contention.share,
@@ -333,41 +610,42 @@ class Executor:
         # else lands on the NVM backing tier.
         policy.on_run_start(ctx)
         for obj in graph.objects:
-            if not self.hms.is_placed(obj):
-                self.hms.allocate(obj, self.hms.nvm)
+            if not hms.is_placed(obj):
+                hms.allocate(obj, hms.nvm)
 
         working_set = graph.total_object_bytes()
-        self.scheduler.prepare(graph)
-        if hasattr(self.scheduler, "bind"):
-            self.scheduler.bind(self.hms)
-        indegree = {t.tid: graph.in_degree(t) for t in graph.tasks}
-        for t in graph.tasks:
-            if indegree[t.tid] == 0:
-                self.scheduler.push(t)
+        scheduler = self.scheduler
+        scheduler.prepare(graph)
+        if hasattr(scheduler, "bind"):
+            scheduler.bind(hms)
+        for i in range(n_total):
+            if indeg[i] == 0:
+                scheduler.push(tasks[i])
 
         n_done = 0
-        n_total = len(graph.tasks)
-        completed: set[int] = set()
 
-        # Time at which each task became ready (roots at 0): a worker that
-        # drained a *future* completion must not dispatch the enabled task
-        # in its own past.
-        ready_at: dict[int, float] = {
-            t.tid: 0.0 for t in graph.tasks if indegree[t.tid] == 0
-        }
+        # Hot-loop working mirrors of the SoA arrays: element-wise reads
+        # and writes go through plain lists (numpy scalar indexing costs
+        # ~3x a list subscript); the arrays are bulk-synced after the
+        # loop and stay the canonical bulk representation.
+        indeg_l = indeg.tolist()
+        ready_l = ready_at.tolist()
+        dispatch_l = dispatch_t.tolist()
+        finish_l = finish_t.tolist()
+        wfl = worker_free.tolist()
 
         def drain_completions(up_to: float) -> None:
             nonlocal n_done
-            while completions and completions[0][0] <= up_to + 1e-15:
-                t_done, tid = heapq.heappop(completions)
-                done = graph.task(tid)
-                completed.add(tid)
+            cutoff = up_to + 1e-15
+            while completions and completions[0][0] <= cutoff:
+                t_done, _tid, di = heappop(completions)
                 n_done += 1
-                for succ in graph.successors(done):
-                    indegree[succ.tid] -= 1
-                    if indegree[succ.tid] == 0:
-                        ready_at[succ.tid] = t_done
-                        self.scheduler.push(succ)
+                for si in succ[di]:
+                    v = indeg_l[si] - 1
+                    indeg_l[si] = v
+                    if not v:
+                        ready_l[si] = t_done
+                        scheduler.push(tasks[si])
 
         capacity_lost = 0
         emergency_evictions = 0
@@ -375,24 +653,39 @@ class Executor:
         # Loop-invariant bindings for the dispatch loop: attribute and
         # bound-method lookups on these dominate the per-task overhead of
         # small-task graphs, and none of them can change mid-run.
-        hms = self.hms
-        scheduler = self.scheduler
-        placement_of = hms.placement_of
-        mark_dirty = hms.mark_dirty
-        available_at = engine.available_at
-        note_first_use = engine.note_first_use
+        rows_all = _timing_rows(graph, hms.dram, hms.nvm)
+        dram_name = hms.dram.name
+        nvm_name = hms.nvm.name
+        placements = hms._placements
+        dirty = hms._dirty
+        avail_get = engine._available_at.get
+        last_rec_get = engine._last_record.get
+        pending_get = engine._pending_first_use.get
+        eng_records = engine.records  # non-empty once any copy was scheduled
+        slowdown = cfg.contention.slowdown
+        slow_memo = cfg.contention._slowdown_memo
+        dram_cache = cfg.dram_cache
         before_task = policy.before_task
         after_task = policy.after_task
         heappush = heapq.heappush
         heappop = heapq.heappop
         overlap_keep = 1.0 - cfg.overlap_factor
-        task_times = self._task_times
         note_dispatch = ctx._note_dispatch
         records_append = records.append
-        running_append = running.append
+        active: dict[str, int] = {}  # live stream count per device name
+        active_get = active.get
+        active_n = 0  # total (task, device) stream pairs among `running`
 
         while n_done < n_total:
-            free_at, wid = heappop(workers)
+            # Earliest-free worker; ties resolve to the lowest worker id
+            # (first minimal slot), matching the (free_at, wid) heap order.
+            free_at = wfl[0]
+            wid = 0
+            for w in range(1, nw):
+                v = wfl[w]
+                if v < free_at:
+                    free_at = v
+                    wid = w
             if telemetry is not None:
                 telemetry.tick(free_at)
             drain_completions(free_at)
@@ -410,43 +703,142 @@ class Executor:
                     )
                 next_t = completions[0][0]
                 drain_completions(next_t)
-                heappush(workers, (max(free_at, next_t), wid))
+                wfl[wid] = next_t if next_t > free_at else free_at
                 continue
 
             task = scheduler.pop()
-            now = max(free_at, ready_at.get(task.tid, 0.0))
+            di = index[task.tid]
+            r = ready_l[di]
+            now = free_at if free_at >= r else r
             overhead_before = before_task(task, ctx, now)
             t0 = now + overhead_before
+            rows, traffic_rows, writer_uids = rows_all[di]
+            eng_active = bool(eng_records)
 
             # Writers block until in-flight migrations of their data land;
             # readers proceed against the source copy (copy-then-redirect),
             # paying source-device timing until the copy completes.
             # Zero-traffic accesses (barrier bookkeeping edges) don't touch
-            # memory, so they neither stall nor count as first use.
+            # memory, so they neither stall nor count as first use.  An
+            # engine with no copy history answers 0.0/None to every query,
+            # so the whole pass degenerates to dirty marking.
             avail = 0.0
-            for obj, acc in task.accesses.items():
-                if acc.accesses == 0:
-                    continue
-                if acc.mode.writes:
-                    mark_dirty(obj)
-                    a = available_at(obj.uid)
-                    if a > t0:
-                        if a > avail:
+            if eng_active:
+                for uid, writes in traffic_rows:
+                    if writes:
+                        if placements[uid].device == dram_name:
+                            dirty.add(uid)
+                        a = avail_get(uid, 0.0)
+                        if a > t0 and a > avail:
                             avail = a
-                    note_first_use(obj.uid, t0)
-                elif available_at(obj.uid) <= t0:
-                    note_first_use(obj.uid, t0)
-            start_exec = max(t0, avail)
+                        pending = pending_get(uid)
+                        if pending:
+                            pending.pop().needed_by = t0
+                    elif avail_get(uid, 0.0) <= t0:
+                        pending = pending_get(uid)
+                        if pending:
+                            pending.pop().needed_by = t0
+            else:
+                for uid in writer_uids:
+                    if placements[uid].device == dram_name:
+                        dirty.add(uid)
+            start_exec = t0 if t0 >= avail else avail
             stall = start_exec - t0
 
-            compute, mem = task_times(task, start_exec, running, working_set, engine)
+            # Contention: pop drained streams off the running heap and
+            # decrement their device counts (same permanently-removed set
+            # as the old in-place prune, kept incremental).
+            cutoff = start_exec + 1e-15
+            while running and running[0][0] <= cutoff:
+                devs = heappop(running)[2]
+                for d in devs:
+                    active[d] -= 1
+                active_n -= len(devs)
+
+            # Ground-truth memory time and residency snapshot, one pass.
+            mem = 0.0
+            residency: dict[int, str] = {}
+            if dram_cache is not None:
+                # Memory Mode: hardware cache, placement-oblivious.
+                n_str = active_n + 1
+                slow = slowdown(n_str)
+                blend = dram_cache.blend
+                if injector is None:
+                    for uid, _w, has_traffic, lat_d, bw_d, lat_n, bw_n in rows:
+                        residency[uid] = placements[uid].device
+                        if not has_traffic:
+                            continue
+                        b = bw_d * slow
+                        t_d = lat_d if lat_d >= b else b
+                        b = bw_n * slow
+                        t_n = lat_n if lat_n >= b else b
+                        mem += blend(t_d, t_n, working_set)
+                else:
+                    for uid, _w, has_traffic, lat_d, bw_d, lat_n, bw_n in rows:
+                        residency[uid] = placements[uid].device
+                        if not has_traffic:
+                            continue
+                        a_ = lat_d * injector.lat_penalty(dram_name, start_exec)
+                        b = bw_d * (slow * injector.bw_penalty(dram_name, start_exec))
+                        t_d = a_ if a_ >= b else b
+                        a_ = lat_n * injector.lat_penalty(nvm_name, start_exec)
+                        b = bw_n * (slow * injector.bw_penalty(nvm_name, start_exec))
+                        t_n = a_ if a_ >= b else b
+                        mem += blend(t_d, t_n, working_set)
+            elif injector is None:
+                for uid, writes, has_traffic, lat_d, bw_d, lat_n, bw_n in rows:
+                    name = placements[uid].device
+                    residency[uid] = name
+                    if not has_traffic:
+                        continue
+                    # Readers of an in-flight migration still hit the source
+                    # copy: time them on the source device.
+                    if eng_active and not writes and avail_get(uid, 0.0) > start_exec:
+                        rec = last_rec_get(uid)
+                        if rec is not None:
+                            name = rec.src
+                    if name == dram_name:
+                        lat = lat_d
+                        bw = bw_d
+                    else:
+                        lat = lat_n
+                        bw = bw_n
+                    k = active_get(name, 0) + 1
+                    s = slow_memo.get(k)
+                    if s is None:
+                        s = slowdown(k)
+                    b = bw * s
+                    mem += lat if lat >= b else b
+            else:
+                for uid, writes, has_traffic, lat_d, bw_d, lat_n, bw_n in rows:
+                    name = placements[uid].device
+                    residency[uid] = name
+                    if not has_traffic:
+                        continue
+                    if eng_active and not writes and avail_get(uid, 0.0) > start_exec:
+                        rec = last_rec_get(uid)
+                        if rec is not None:
+                            name = rec.src
+                    if name == dram_name:
+                        lat = lat_d
+                        bw = bw_d
+                    else:
+                        lat = lat_n
+                        bw = bw_n
+                    # Injected degradation slows both timing laws, unlike
+                    # contention which queues only the bandwidth term.
+                    slow = slowdown(active_get(name, 0) + 1)
+                    a_ = lat * injector.lat_penalty(name, start_exec)
+                    b = bw * (slow * injector.bw_penalty(name, start_exec))
+                    mem += a_ if a_ >= b else b
+
+            compute = task.compute_time
             if compute >= mem:
                 exec_time = compute + overlap_keep * mem
             else:
                 exec_time = mem + overlap_keep * compute
             finish = start_exec + exec_time
 
-            residency = {o.uid: placement_of(o).device for o in task.accesses}
             record = TaskRecord(
                 task=task,
                 worker=wid,
@@ -458,19 +850,14 @@ class Executor:
                 stall_time=stall,
                 residency=residency,
             )
+            version_before_hook = hms._version
             overhead_after = after_task(task, record, ctx)
-            worker_free = finish + overhead_after
-            record = TaskRecord(
-                task=task,
-                worker=wid,
-                start=now,
-                finish=worker_free,
-                compute_time=compute,
-                memory_time=mem,
-                overhead_time=overhead_before + overhead_after,
-                stall_time=stall,
-                residency=residency,
-            )
+            worker_free_t = finish + overhead_after
+            if overhead_after != 0.0:
+                object.__setattr__(record, "finish", worker_free_t)
+                object.__setattr__(
+                    record, "overhead_time", overhead_before + overhead_after
+                )
             records_append(record)
             if telemetry is not None:
                 reg = telemetry.registry
@@ -493,13 +880,31 @@ class Executor:
                         help="Software overhead charged by the placement policy",
                     ).inc(oh)
 
-            touched = frozenset(
-                placement_of(o).device for o in task.accesses
-            )
-            running_append((finish, task, touched))
+            # Devices this task streams against, *after* the policy hook —
+            # after_task may have migrated some of its objects.  When no
+            # placement changed under the hook (the common case, detected
+            # by the HMS version counter), the residency snapshot already
+            # holds the answer.
+            if hms._version == version_before_hook:
+                touched = frozenset(residency.values())
+            else:
+                touched = frozenset(placements[uid].device for uid in residency)
+            heappush(running, (finish, task.tid, touched))
+            for d in touched:
+                active[d] = active_get(d, 0) + 1
+            active_n += len(touched)
             note_dispatch(task, finish)
-            heappush(completions, (worker_free, task.tid))
-            heappush(workers, (worker_free, wid))
+            dispatch_l[di] = now
+            finish_l[di] = worker_free_t
+            heappush(completions, (worker_free_t, task.tid, di))
+            wfl[wid] = worker_free_t
+
+        # Sync the canonical SoA arrays from the hot-loop mirrors.
+        indeg[:] = indeg_l
+        ready_at[:] = ready_l
+        dispatch_t[:] = dispatch_l
+        finish_t[:] = finish_l
+        worker_free[:] = wfl
 
         makespan = max((r.finish for r in records), default=0.0)
         trace = ExecutionTrace(
@@ -534,6 +939,181 @@ class Executor:
                 ],
             }
         return trace
+
+    def _run_static(self, graph: TaskGraph, policy: PlacementPolicy) -> ExecutionTrace:
+        """Specialized dispatch loop for static-placement runs.
+
+        Preconditions (checked by ``run``): the policy's hooks are the
+        no-op ``BasePolicy`` implementations, and there is no injector,
+        telemetry plane, or hardware-cache mode.  Then after
+        ``on_run_start`` nothing can move an object or schedule a copy:
+        every stall is zero, every overhead is zero, and each task's
+        residency snapshot, per-row (latency, bandwidth) pair, dirty
+        marks, and touched-device set are run constants hoisted into a
+        per-task table.  The remaining loop is scheduling plus the
+        contention-dependent bandwidth term — byte-identical to the
+        general loop by construction (and pinned by the differential
+        property suite against the object-mode reference executor).
+        """
+        cfg = self.config
+        hms = self.hms
+        engine = MigrationEngine(overhead_s=cfg.migration_overhead_s)
+        ctx = ExecContext(graph, hms, engine, cfg)
+
+        core = graph.exec_core()
+        tasks = core.tasks
+        index = core.index
+        succ = core.succ
+        n_total = len(tasks)
+        nw = cfg.n_workers
+
+        policy.on_run_start(ctx)
+        for obj in graph.objects:
+            if not hms.is_placed(obj):
+                hms.allocate(obj, hms.nvm)
+
+        scheduler = self.scheduler
+        scheduler.prepare(graph)
+        if hasattr(scheduler, "bind"):
+            scheduler.bind(hms)
+
+        indeg_l = core.indeg0.tolist()
+        for i in range(n_total):
+            if not indeg_l[i]:
+                scheduler.push(tasks[i])
+        ready_l = [0.0] * n_total
+        wfl = [0.0] * nw
+
+        rows_all = _timing_rows(graph, hms.dram, hms.nvm)
+        placements = hms._placements
+        dirty = hms._dirty
+        dram_name = hms.dram.name
+        slowdown = cfg.contention.slowdown
+        slow_memo = cfg.contention._slowdown_memo
+        overlap_keep = 1.0 - cfg.overlap_factor
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+
+        # Run-constant per-task tables: traffic rows on their (fixed)
+        # resident tier, the residency snapshot, and the touched set.
+        # Dirty marks are order-independent set inserts, applied up front.
+        static_rows = []
+        for di in range(n_total):
+            trows = []
+            residency: dict[int, str] = {}
+            touch: list[str] = []
+            for uid, writes, has_traffic, lat_d, bw_d, lat_n, bw_n in rows_all[di][0]:
+                name = placements[uid].device
+                residency[uid] = name
+                if name not in touch:
+                    touch.append(name)
+                if not has_traffic:
+                    continue
+                if writes and name == dram_name:
+                    dirty.add(uid)
+                if name == dram_name:
+                    trows.append((name, lat_d, bw_d))
+                else:
+                    trows.append((name, lat_n, bw_n))
+            static_rows.append((trows, residency, frozenset(touch)))
+
+        completions: list[tuple[float, int, int]] = []
+        running: list[tuple[float, int, frozenset[str]]] = []
+        records: list[TaskRecord] = []
+        records_append = records.append
+        active: dict[str, int] = {}
+        active_get = active.get
+        n_done = 0
+
+        def drain_completions(up_to: float) -> None:
+            nonlocal n_done
+            cutoff = up_to + 1e-15
+            while completions and completions[0][0] <= cutoff:
+                t_done, _tid, di = heappop(completions)
+                n_done += 1
+                for si in succ[di]:
+                    v = indeg_l[si] - 1
+                    indeg_l[si] = v
+                    if not v:
+                        ready_l[si] = t_done
+                        scheduler.push(tasks[si])
+
+        while n_done < n_total:
+            free_at = wfl[0]
+            wid = 0
+            for w in range(1, nw):
+                v = wfl[w]
+                if v < free_at:
+                    free_at = v
+                    wid = w
+            drain_completions(free_at)
+            if n_done >= n_total:
+                break
+            if len(scheduler) == 0:
+                if not completions:
+                    raise RuntimeError(
+                        "deadlock: no ready tasks and no pending completions "
+                        "(cyclic graph or lost wakeup)"
+                    )
+                next_t = completions[0][0]
+                drain_completions(next_t)
+                wfl[wid] = next_t if next_t > free_at else free_at
+                continue
+
+            task = scheduler.pop()
+            di = index[task.tid]
+            r = ready_l[di]
+            now = free_at if free_at >= r else r
+
+            cutoff = now + 1e-15
+            while running and running[0][0] <= cutoff:
+                devs = heappop(running)[2]
+                for d in devs:
+                    active[d] -= 1
+
+            trows, residency, touched = static_rows[di]
+            mem = 0.0
+            for name, lat, bw in trows:
+                k = active_get(name, 0) + 1
+                s = slow_memo.get(k)
+                if s is None:
+                    s = slowdown(k)
+                b = bw * s
+                mem += lat if lat >= b else b
+
+            compute = task.compute_time
+            if compute >= mem:
+                exec_time = compute + overlap_keep * mem
+            else:
+                exec_time = mem + overlap_keep * compute
+            finish = now + exec_time
+
+            records_append(
+                TaskRecord(
+                    task=task,
+                    worker=wid,
+                    start=now,
+                    finish=finish,
+                    compute_time=compute,
+                    memory_time=mem,
+                    overhead_time=0.0,
+                    stall_time=0.0,
+                    residency=residency,
+                )
+            )
+            heappush(running, (finish, task.tid, touched))
+            for d in touched:
+                active[d] = active_get(d, 0) + 1
+            heappush(completions, (finish, task.tid, di))
+            wfl[wid] = finish
+
+        makespan = max((r.finish for r in records), default=0.0)
+        return ExecutionTrace(
+            records=records,
+            migrations=engine,
+            makespan=makespan,
+            n_workers=cfg.n_workers,
+        )
 
     def _apply_capacity_losses(
         self, injector: "FaultInjector", engine: MigrationEngine, now: float
@@ -579,77 +1159,3 @@ class Executor:
             lost += applied
             evictions += len(evicted)
         return lost, evictions
-
-    # ------------------------------------------------------------------
-    def _task_times(
-        self,
-        task: Task,
-        start: float,
-        running: list[tuple[float, Task, frozenset[str]]],
-        working_set: int,
-        engine: MigrationEngine | None = None,
-    ) -> tuple[float, float]:
-        """Ground-truth (compute, memory) times for ``task`` starting now."""
-        cfg = self.config
-        # Contention: count still-running tasks per device, including this one.
-        cutoff = start + 1e-15
-        running[:] = [r for r in running if r[0] > cutoff]
-        active: dict[str, int] = {}
-        for _, _, devices in running:
-            for d in devices:
-                active[d] = active.get(d, 0) + 1
-
-        inj = self.injector
-        mem = 0.0
-        if cfg.dram_cache is not None:
-            # Memory Mode: hardware cache, placement-oblivious.
-            n_str = sum(active.values()) + 1
-            slow = cfg.contention.slowdown(n_str)
-            for acc in task.accesses.values():
-                if inj is None:
-                    t_d = acc.memory_time(self.hms.dram, bw_slowdown=slow)
-                    t_n = acc.memory_time(self.hms.nvm, bw_slowdown=slow)
-                else:
-                    t_d = acc.memory_time(
-                        self.hms.dram,
-                        bw_slowdown=slow * inj.bw_penalty(self.hms.dram.name, start),
-                        lat_slowdown=inj.lat_penalty(self.hms.dram.name, start),
-                    )
-                    t_n = acc.memory_time(
-                        self.hms.nvm,
-                        bw_slowdown=slow * inj.bw_penalty(self.hms.nvm.name, start),
-                        lat_slowdown=inj.lat_penalty(self.hms.nvm.name, start),
-                    )
-                mem += cfg.dram_cache.blend(t_d, t_n, working_set)
-        else:
-            device_of = self.hms.device_of
-            slowdown = cfg.contention.slowdown
-            in_flight_source = engine.in_flight_source if engine else None
-            active_get = active.get
-            for obj, acc in task.accesses.items():
-                dev = device_of(obj)
-                # Readers of an in-flight migration still hit the source
-                # copy: time them on the source device.
-                if in_flight_source is not None:
-                    src_name = in_flight_source(obj.uid, start)
-                    if src_name is not None and not acc.mode.writes:
-                        dev = self._device_by_name(src_name, dev)
-                slow = slowdown(active_get(dev.name, 0) + 1)
-                if inj is None:
-                    mem += acc.memory_time(dev, bw_slowdown=slow)
-                else:
-                    # Injected degradation slows both timing laws, unlike
-                    # contention which queues only the bandwidth term.
-                    mem += acc.memory_time(
-                        dev,
-                        bw_slowdown=slow * inj.bw_penalty(dev.name, start),
-                        lat_slowdown=inj.lat_penalty(dev.name, start),
-                    )
-        return task.compute_time, mem
-
-    def _device_by_name(self, name: str, default):
-        if name == self.hms.dram.name:
-            return self.hms.dram
-        if name == self.hms.nvm.name:
-            return self.hms.nvm
-        return default

@@ -15,10 +15,13 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
+import numpy as np
+
+from repro.tasking.access import AccessMode
 from repro.tasking.dataobj import DataObject
 from repro.tasking.task import Task
 
-__all__ = ["TaskGraph", "DependenceKind", "Dependence"]
+__all__ = ["TaskGraph", "GraphExecCore", "DependenceKind", "Dependence"]
 
 
 class DependenceKind(enum.Enum):
@@ -33,6 +36,27 @@ class Dependence:
     dst: Task
     kind: DependenceKind
     obj: DataObject
+
+
+@dataclass(frozen=True)
+class GraphExecCore:
+    """Structure-of-arrays snapshot of a graph for the executor hot loop.
+
+    Tasks get dense indices in spawn order; dependence structure is a CSR
+    adjacency (``succ_indptr``/``succ_indices``) with per-task successor
+    tuples alongside for cheap small-fanout iteration.  ``indeg0`` holds
+    the initial unresolved-dependency count per task — the executor copies
+    it and decrements the copy as completions drain.  Rebuilt lazily when
+    the graph's structure version moves (same idiom as the other derived-
+    query caches).
+    """
+
+    tasks: tuple[Task, ...]
+    index: dict[int, int]  #: tid -> dense index (spawn order)
+    indeg0: np.ndarray  #: int32 initial in-degree per dense index
+    succ: tuple[tuple[int, ...], ...]  #: dense successor indices, tid order
+    succ_indptr: np.ndarray  #: int32 CSR row pointers (len = n_tasks + 1)
+    succ_indices: np.ndarray  #: int32 CSR column indices (tid order per row)
 
 
 class TaskGraph:
@@ -58,6 +82,7 @@ class TaskGraph:
         self._pred_cache: dict[int, list[Task]] = {}
         self._objects_cache: list[DataObject] | None = None
         self._topo_cache: list[Task] | None = None
+        self._exec_core_cache: GraphExecCore | None = None
         self._cache_version = -1
 
     def invalidate_caches(self) -> None:
@@ -73,6 +98,7 @@ class TaskGraph:
             self._objects_cache = None
             self._topo_cache = None
             self._depths_cache = None
+            self._exec_core_cache = None
             self._cache_version = self._version
         return self
 
@@ -88,25 +114,38 @@ class TaskGraph:
         self._by_tid[task.tid] = task
         self._succ.setdefault(task.tid, set())
         self._pred.setdefault(task.tid, set())
+        # Localized hot loop: graph build runs once per workload shape but
+        # its cold cost is a visible slice of the benched suite.  Mode
+        # predicates are identity checks (what the enum properties compute).
+        objects = self._objects
+        last_writer = self._last_writer
+        readers_since = self._readers_since_write
+        add_edge = self._add_edge
+        read_mode = AccessMode.READ
+        write_mode = AccessMode.WRITE
         for obj, access in task.accesses.items():
-            self._objects.setdefault(obj.uid, obj)
+            uid = obj.uid
+            if uid not in objects:
+                objects[uid] = obj
             if not access.infer_deps:
                 continue
-            if access.mode.reads:
-                lw = self._last_writer.get(obj.uid)
+            mode = access.mode
+            reads = mode is not write_mode
+            if reads:
+                lw = last_writer.get(uid)
                 if lw is not None:
-                    self._add_edge(lw, task, DependenceKind.RAW, obj)
-            if access.mode.writes:
-                lw = self._last_writer.get(obj.uid)
+                    add_edge(lw, task, DependenceKind.RAW, obj)
+            if mode is not read_mode:  # writes
+                lw = last_writer.get(uid)
                 if lw is not None:
-                    self._add_edge(lw, task, DependenceKind.WAW, obj)
-                for reader in self._readers_since_write[obj.uid]:
+                    add_edge(lw, task, DependenceKind.WAW, obj)
+                for reader in readers_since[uid]:
                     if reader is not task:
-                        self._add_edge(reader, task, DependenceKind.WAR, obj)
-                self._last_writer[obj.uid] = task
-                self._readers_since_write[obj.uid] = []
-            if access.mode.reads:
-                self._readers_since_write[obj.uid].append(task)
+                        add_edge(reader, task, DependenceKind.WAR, obj)
+                last_writer[uid] = task
+                readers_since[uid] = []
+            if reads:
+                readers_since[uid].append(task)
         return task
 
     def _add_edge(self, src: Task, dst: Task, kind: DependenceKind, obj: DataObject) -> None:
@@ -188,6 +227,42 @@ class TaskGraph:
 
     def total_object_bytes(self) -> int:
         return sum(o.size_bytes for o in self._objects.values())
+
+    def exec_core(self) -> GraphExecCore:
+        """The SoA execution core for this graph (cached per version).
+
+        Successor rows are in tid order, matching :meth:`successors`, so
+        the executor's completion drain enables tasks in the same order
+        whichever representation it walks.
+        """
+        core = self._caches()._exec_core_cache
+        if core is not None:
+            return core
+        tasks = tuple(self.tasks)
+        index = {t.tid: i for i, t in enumerate(tasks)}
+        n = len(tasks)
+        indeg0 = np.fromiter(
+            (len(self._pred[t.tid]) for t in tasks), dtype=np.int32, count=n
+        )
+        succ = tuple(
+            tuple(index[s] for s in sorted(self._succ[t.tid])) for t in tasks
+        )
+        indptr = np.zeros(n + 1, dtype=np.int32)
+        for i, row in enumerate(succ):
+            indptr[i + 1] = indptr[i] + len(row)
+        indices = np.fromiter(
+            (s for row in succ for s in row), dtype=np.int32, count=int(indptr[-1])
+        )
+        core = GraphExecCore(
+            tasks=tasks,
+            index=index,
+            indeg0=indeg0,
+            succ=succ,
+            succ_indptr=indptr,
+            succ_indices=indices,
+        )
+        self._exec_core_cache = core
+        return core
 
     def roots(self) -> list[Task]:
         return [t for t in self.tasks if not self._pred[t.tid]]

@@ -17,7 +17,7 @@ chunking optimization happening before the main loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.memory.device import MemoryDevice
 from repro.memory.hms import HeterogeneousMemorySystem
@@ -136,7 +136,10 @@ class TaskRuntime:
 
             graph = partition_graph(graph, max_chunk)
         hms = self.build_machine()
-        executor = Executor(hms, self.config, self.scheduler)
+        cfg = self.config
+        if self.scheduler is not None:
+            cfg = replace(cfg, scheduler=self.scheduler)
+        executor = Executor(hms, cfg)
         trace = executor.run(graph, policy)
         trace.meta.setdefault("policy", policy.name)
         trace.meta.setdefault("nvm", self.nvm.name)

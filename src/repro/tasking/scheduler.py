@@ -10,12 +10,20 @@ scheduler used in the scaling study.
 from __future__ import annotations
 
 import heapq
-from typing import Protocol
+from typing import Callable, Protocol
 
 from repro.tasking.graph import TaskGraph
 from repro.tasking.task import Task
 
-__all__ = ["SchedulingPolicy", "FIFOPolicy", "LIFOPolicy", "CriticalPathPolicy"]
+__all__ = [
+    "SchedulingPolicy",
+    "FIFOPolicy",
+    "LIFOPolicy",
+    "CriticalPathPolicy",
+    "MemoryAwarePolicy",
+    "SCHEDULERS",
+    "make_scheduler",
+]
 
 
 class SchedulingPolicy(Protocol):
@@ -147,3 +155,33 @@ class CriticalPathPolicy:
 
     def __len__(self) -> int:
         return len(self._heap)
+
+
+#: Ready-task ordering policies selectable by name (per :class:`RunSpec`
+#: or :class:`ExecutorConfig`).
+SCHEDULERS: dict[str, Callable[[], SchedulingPolicy]] = {
+    "fifo": FIFOPolicy,
+    "lifo": LIFOPolicy,
+    "critical-path": CriticalPathPolicy,
+    "memory-aware": MemoryAwarePolicy,
+}
+
+
+def make_scheduler(name: str) -> SchedulingPolicy:
+    """Instantiate a registered scheduling policy by name.
+
+    Unknown names raise ``KeyError`` with a did-you-mean suggestion.
+    """
+    try:
+        factory = SCHEDULERS[name]
+    except KeyError:
+        import difflib
+
+        suggestions = difflib.get_close_matches(name, SCHEDULERS, n=3, cutoff=0.4)
+        hint = (
+            f"; did you mean {' or '.join(map(repr, suggestions))}?" if suggestions else ""
+        )
+        raise KeyError(
+            f"unknown scheduler {name!r}{hint} (known: {sorted(SCHEDULERS)})"
+        ) from None
+    return factory()

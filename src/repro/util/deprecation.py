@@ -1,0 +1,26 @@
+"""Deprecation machinery for the library's own one-release shims.
+
+Every shim in this codebase warns through :func:`warn_deprecated`, which
+raises :class:`ReproDeprecationWarning` — a ``DeprecationWarning``
+subclass that is *ours alone*.  The test suite escalates this category to
+an error (``filterwarnings`` in ``pyproject.toml``), so a deprecated call
+path can only appear inside a test that asserts the warning explicitly
+(``pytest.warns``); any shim usage that sneaks into library code or an
+unrelated test fails CI instead of rotting silently.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["ReproDeprecationWarning", "warn_deprecated"]
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """A deprecation issued by repro's own compatibility shims."""
+
+
+def warn_deprecated(message: str, stacklevel: int = 3) -> None:
+    """Emit a :class:`ReproDeprecationWarning` pointing at the caller's
+    caller (the user code invoking the shim)."""
+    warnings.warn(message, ReproDeprecationWarning, stacklevel=stacklevel)

@@ -1,0 +1,294 @@
+"""Object-mode reference executor for differential testing.
+
+This is the pre-rewrite dispatch loop, kept verbatim (telemetry plane
+stripped — the reference is only used for timing/trace equivalence): per
+task Python object traversal, dict-based indegree/ready bookkeeping, a
+``(free_at, wid)`` worker heap, ``memory_time`` calls per access, and the
+double ``TaskRecord`` construction around ``after_task``.  The production
+:class:`repro.tasking.executor.Executor` rewrote all of this around a
+structure-of-arrays core; the property suite asserts both produce
+byte-identical traces on random programs, with and without migrations and
+fault injection.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.memory.hms import HeterogeneousMemorySystem
+from repro.memory.migration import MigrationEngine
+from repro.tasking.executor import ExecContext, ExecutorConfig, PlacementPolicy
+from repro.tasking.graph import TaskGraph
+from repro.tasking.scheduler import FIFOPolicy, make_scheduler
+from repro.tasking.task import Task
+from repro.tasking.trace import ExecutionTrace, TaskRecord
+
+__all__ = ["ReferenceExecutor"]
+
+
+class ReferenceExecutor:
+    """Runs one task graph to completion in virtual time (object mode)."""
+
+    def __init__(self, hms: HeterogeneousMemorySystem, config=None, injector=None):
+        self.hms = hms
+        self.config = config or ExecutorConfig()
+        sched = self.config.scheduler
+        if isinstance(sched, str):
+            sched = make_scheduler(sched)
+        self.scheduler = sched if sched is not None else FIFOPolicy()
+        self.injector = injector
+
+    # ------------------------------------------------------------------
+    def run(self, graph: TaskGraph, policy: PlacementPolicy) -> ExecutionTrace:
+        cfg = self.config
+        injector = self.injector
+        engine = MigrationEngine(overhead_s=cfg.migration_overhead_s, injector=injector)
+        ctx = ExecContext(graph, self.hms, engine, cfg)
+
+        workers = [(0.0, w) for w in range(cfg.n_workers)]
+        heapq.heapify(workers)
+        completions: list[tuple[float, int]] = []
+        running: list[tuple[float, Task, frozenset[str]]] = []
+        records: list[TaskRecord] = []
+
+        policy.on_run_start(ctx)
+        for obj in graph.objects:
+            if not self.hms.is_placed(obj):
+                self.hms.allocate(obj, self.hms.nvm)
+
+        working_set = graph.total_object_bytes()
+        self.scheduler.prepare(graph)
+        if hasattr(self.scheduler, "bind"):
+            self.scheduler.bind(self.hms)
+        indegree = {t.tid: graph.in_degree(t) for t in graph.tasks}
+        for t in graph.tasks:
+            if indegree[t.tid] == 0:
+                self.scheduler.push(t)
+
+        n_done = 0
+        n_total = len(graph.tasks)
+        ready_at: dict[int, float] = {
+            t.tid: 0.0 for t in graph.tasks if indegree[t.tid] == 0
+        }
+
+        def drain_completions(up_to: float) -> None:
+            nonlocal n_done
+            while completions and completions[0][0] <= up_to + 1e-15:
+                t_done, tid = heapq.heappop(completions)
+                done = graph.task(tid)
+                n_done += 1
+                for succ in graph.successors(done):
+                    indegree[succ.tid] -= 1
+                    if indegree[succ.tid] == 0:
+                        ready_at[succ.tid] = t_done
+                        self.scheduler.push(succ)
+
+        capacity_lost = 0
+        emergency_evictions = 0
+
+        hms = self.hms
+        scheduler = self.scheduler
+        placement_of = hms.placement_of
+        mark_dirty = hms.mark_dirty
+        available_at = engine.available_at
+        note_first_use = engine.note_first_use
+        before_task = policy.before_task
+        after_task = policy.after_task
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        overlap_keep = 1.0 - cfg.overlap_factor
+
+        while n_done < n_total:
+            free_at, wid = heappop(workers)
+            drain_completions(free_at)
+            if injector is not None:
+                lost, evs = self._apply_capacity_losses(injector, engine, free_at)
+                capacity_lost += lost
+                emergency_evictions += evs
+            if n_done >= n_total:
+                break
+            if len(scheduler) == 0:
+                if not completions:
+                    raise RuntimeError(
+                        "deadlock: no ready tasks and no pending completions "
+                        "(cyclic graph or lost wakeup)"
+                    )
+                next_t = completions[0][0]
+                drain_completions(next_t)
+                heappush(workers, (max(free_at, next_t), wid))
+                continue
+
+            task = scheduler.pop()
+            now = max(free_at, ready_at.get(task.tid, 0.0))
+            overhead_before = before_task(task, ctx, now)
+            t0 = now + overhead_before
+
+            avail = 0.0
+            for obj, acc in task.accesses.items():
+                if acc.accesses == 0:
+                    continue
+                if acc.mode.writes:
+                    mark_dirty(obj)
+                    a = available_at(obj.uid)
+                    if a > t0:
+                        if a > avail:
+                            avail = a
+                    note_first_use(obj.uid, t0)
+                elif available_at(obj.uid) <= t0:
+                    note_first_use(obj.uid, t0)
+            start_exec = max(t0, avail)
+            stall = start_exec - t0
+
+            compute, mem = self._task_times(
+                task, start_exec, running, working_set, engine
+            )
+            if compute >= mem:
+                exec_time = compute + overlap_keep * mem
+            else:
+                exec_time = mem + overlap_keep * compute
+            finish = start_exec + exec_time
+
+            residency = {o.uid: placement_of(o).device for o in task.accesses}
+            record = TaskRecord(
+                task=task,
+                worker=wid,
+                start=now,
+                finish=finish,
+                compute_time=compute,
+                memory_time=mem,
+                overhead_time=overhead_before,
+                stall_time=stall,
+                residency=residency,
+            )
+            overhead_after = after_task(task, record, ctx)
+            worker_free = finish + overhead_after
+            record = TaskRecord(
+                task=task,
+                worker=wid,
+                start=now,
+                finish=worker_free,
+                compute_time=compute,
+                memory_time=mem,
+                overhead_time=overhead_before + overhead_after,
+                stall_time=stall,
+                residency=residency,
+            )
+            records.append(record)
+
+            touched = frozenset(placement_of(o).device for o in task.accesses)
+            running.append((finish, task, touched))
+            ctx._note_dispatch(task, finish)
+            heappush(completions, (worker_free, task.tid))
+            heappush(workers, (worker_free, wid))
+
+        makespan = max((r.finish for r in records), default=0.0)
+        trace = ExecutionTrace(
+            records=records,
+            migrations=engine,
+            makespan=makespan,
+            n_workers=cfg.n_workers,
+        )
+        if injector is not None:
+            trace.faults = {
+                "plan": injector.plan.label(),
+                "injected_copy_failures": injector.injected_copy_failures,
+                "copy_retries": engine.retry_count,
+                "recovered_copies": engine.recovered_count,
+                "failed_migrations": engine.failed_count,
+                "capacity_lost_bytes": capacity_lost,
+                "emergency_evictions": emergency_evictions,
+                "degraded_time_s": injector.degraded_time(makespan),
+                "degraded_slices": injector.degraded_slices(makespan),
+                "events": [
+                    {
+                        "kind": e.kind,
+                        "time": e.time,
+                        "device": e.device,
+                        "detail": e.detail,
+                        "nbytes": e.nbytes,
+                    }
+                    for e in injector.events
+                ],
+            }
+        return trace
+
+    def _apply_capacity_losses(self, injector, engine, now):
+        lost = 0
+        evictions = 0
+        for loss in injector.pop_capacity_losses(now):
+            name = injector.device_name(loss.device)
+            applied, evicted = self.hms.lose_capacity(name, loss.lose_bytes)
+            for obj, was_dirty in evicted:
+                if was_dirty:
+                    engine.schedule(
+                        obj.uid,
+                        obj.size_bytes,
+                        self.hms.dram,
+                        self.hms.nvm,
+                        request_time=now,
+                        critical=True,
+                    )
+            injector.note_capacity_loss(loss, now, applied, len(evicted))
+            lost += applied
+            evictions += len(evicted)
+        return lost, evictions
+
+    # ------------------------------------------------------------------
+    def _task_times(self, task, start, running, working_set, engine=None):
+        cfg = self.config
+        cutoff = start + 1e-15
+        running[:] = [r for r in running if r[0] > cutoff]
+        active: dict[str, int] = {}
+        for _, _, devices in running:
+            for d in devices:
+                active[d] = active.get(d, 0) + 1
+
+        inj = self.injector
+        mem = 0.0
+        if cfg.dram_cache is not None:
+            n_str = sum(active.values()) + 1
+            slow = cfg.contention.slowdown(n_str)
+            for acc in task.accesses.values():
+                if inj is None:
+                    t_d = acc.memory_time(self.hms.dram, bw_slowdown=slow)
+                    t_n = acc.memory_time(self.hms.nvm, bw_slowdown=slow)
+                else:
+                    t_d = acc.memory_time(
+                        self.hms.dram,
+                        bw_slowdown=slow * inj.bw_penalty(self.hms.dram.name, start),
+                        lat_slowdown=inj.lat_penalty(self.hms.dram.name, start),
+                    )
+                    t_n = acc.memory_time(
+                        self.hms.nvm,
+                        bw_slowdown=slow * inj.bw_penalty(self.hms.nvm.name, start),
+                        lat_slowdown=inj.lat_penalty(self.hms.nvm.name, start),
+                    )
+                mem += cfg.dram_cache.blend(t_d, t_n, working_set)
+        else:
+            device_of = self.hms.device_of
+            slowdown = cfg.contention.slowdown
+            in_flight_source = engine.in_flight_source if engine else None
+            active_get = active.get
+            for obj, acc in task.accesses.items():
+                dev = device_of(obj)
+                if in_flight_source is not None:
+                    src_name = in_flight_source(obj.uid, start)
+                    if src_name is not None and not acc.mode.writes:
+                        dev = self._device_by_name(src_name, dev)
+                slow = slowdown(active_get(dev.name, 0) + 1)
+                if inj is None:
+                    mem += acc.memory_time(dev, bw_slowdown=slow)
+                else:
+                    mem += acc.memory_time(
+                        dev,
+                        bw_slowdown=slow * inj.bw_penalty(dev.name, start),
+                        lat_slowdown=inj.lat_penalty(dev.name, start),
+                    )
+        return task.compute_time, mem
+
+    def _device_by_name(self, name, default):
+        if name == self.hms.dram.name:
+            return self.hms.dram
+        if name == self.hms.nvm.name:
+            return self.hms.nvm
+        return default

@@ -1,0 +1,77 @@
+"""The one-release deprecation shims around the frozen execution API.
+
+The suite-wide ``filterwarnings = error::…ReproDeprecationWarning`` in
+pyproject.toml turns any *unasserted* use of a deprecated form into a
+hard failure; these tests are the only places the shims are exercised,
+each inside an explicit ``pytest.warns`` block.
+"""
+
+import pytest
+
+from repro.baselines import NVMOnlyPolicy
+from repro.memory.hms import HeterogeneousMemorySystem
+from repro.memory.migration import MigrationEngine
+from repro.memory.presets import dram, nvm_bandwidth_scaled
+from repro.tasking.executor import ExecContext, Executor, ExecutorConfig
+from repro.tasking.scheduler import LIFOPolicy, make_scheduler
+from repro.util.deprecation import ReproDeprecationWarning
+
+from tests.helpers import make_fork_join_graph
+
+
+def _context():
+    graph = make_fork_join_graph(width=4, obj_mib=4.0)
+    hms = HeterogeneousMemorySystem(dram(), nvm_bandwidth_scaled(0.5))
+    cfg = ExecutorConfig(n_workers=2)
+    engine = MigrationEngine(overhead_s=cfg.migration_overhead_s)
+    return graph, ExecContext(graph, hms, engine, cfg)
+
+
+class TestWarningCategory:
+    def test_is_a_deprecation_warning(self):
+        assert issubclass(ReproDeprecationWarning, DeprecationWarning)
+
+
+class TestContextListShims:
+    def test_upcoming_warns_and_matches_view(self):
+        graph, ctx = _context()
+        with pytest.warns(ReproDeprecationWarning, match="upcoming_view"):
+            old = ctx.upcoming(3)
+        assert isinstance(old, list)
+        assert old == list(ctx.upcoming_view(3))
+
+    def test_remaining_warns_and_matches_view(self):
+        graph, ctx = _context()
+        with pytest.warns(ReproDeprecationWarning, match="remaining_view"):
+            old = ctx.remaining()
+        assert isinstance(old, list)
+        assert old == list(ctx.remaining_view())
+        assert len(old) == len(graph.tasks)
+
+
+class TestExecutorConstructor:
+    def test_direct_scheduler_arg_warns_but_works(self):
+        hms = HeterogeneousMemorySystem(dram(), nvm_bandwidth_scaled(0.5))
+        sched = LIFOPolicy()
+        with pytest.warns(ReproDeprecationWarning, match="ExecutorConfig"):
+            ex = Executor(hms, ExecutorConfig(n_workers=1), scheduler=sched)
+        assert ex.scheduler is sched
+        tr = ex.run(make_fork_join_graph(width=4, obj_mib=4.0), NVMOnlyPolicy())
+        tr.validate()
+
+    def test_machine_knob_kwargs_rejected_with_hint(self):
+        hms = HeterogeneousMemorySystem(dram(), nvm_bandwidth_scaled(0.5))
+        with pytest.raises(TypeError, match=r"ExecutorConfig"):
+            Executor(hms, n_workers=4)
+        with pytest.raises(TypeError, match=r"n_workers.*overlap_factor|overlap_factor.*n_workers"):
+            Executor(hms, n_workers=4, overlap_factor=0.5)
+
+
+class TestSchedulerRegistry:
+    def test_unknown_name_suggests_close_match(self):
+        with pytest.raises(KeyError, match="critical-path"):
+            make_scheduler("critical_path")
+
+    def test_known_names_construct(self):
+        for name in ("fifo", "lifo", "critical-path", "memory-aware"):
+            assert len(make_scheduler(name)) == 0

@@ -234,6 +234,36 @@ class TestBenchProfile:
         ok, msg = check_against_baseline(slow, base, gate_pct=20.0)
         assert not ok and "REGRESSION" in msg
 
+    def test_phase_budgets(self, tmp_path):
+        from repro.metrics.bench import (
+            check_against_baseline,
+            check_phase_budgets,
+            run_bench,
+            write_profile,
+        )
+
+        profile = run_bench(reps=1)
+        loop = profile["normalized_phases"]["executor_loop"]
+
+        # Standalone: generous ceiling passes, impossible ceiling fails.
+        ok, msg = check_phase_budgets(profile, {"executor_loop": loop + 1.0})
+        assert ok and "budget executor_loop" in msg
+        ok, msg = check_phase_budgets(profile, {"executor_loop": loop / 2})
+        assert not ok and "OVER BUDGET" in msg
+
+        # Unknown phase names fail loudly instead of silently gating nothing.
+        ok, msg = check_phase_budgets(profile, {"executor_lop": 2.0})
+        assert not ok and "unknown phase" in msg
+
+        # Budgets ride along the baseline comparison: the relative gates
+        # pass against self, but an absolute ceiling still fails.
+        base = tmp_path / "baseline.json"
+        write_profile(profile, base)
+        ok, msg = check_against_baseline(
+            profile, base, phase_budgets={"executor_loop": loop / 2}
+        )
+        assert not ok and "OVER BUDGET" in msg
+
 
 class TestStablePolicyAPI:
     """The policy/run API surface this PR freezes (satellite #4)."""
@@ -266,7 +296,8 @@ class TestStablePolicyAPI:
         }
         assert public == {
             "dram", "nvm", "place_initial", "request_migration", "upcoming",
-            "remaining", "profile", "migration_backlog", "profiling_overhead",
+            "remaining", "upcoming_view", "remaining_view", "profile",
+            "migration_backlog", "profiling_overhead",
         }
 
     def test_request_migration_signature_frozen(self):

@@ -145,3 +145,59 @@ def test_repeat_run_hits_memos_and_stays_exact(key: str) -> None:
     first = run_and_summarize(spec).to_payload()
     second = run_and_summarize(spec).to_payload()
     assert first == second, f"{key}: warm-memo rerun diverged from cold run"
+
+
+@pytest.mark.parametrize(
+    "workload,params,scheduler",
+    [
+        ("cg", dict(n_chunks=6, iterations=4), None),
+        ("heat", dict(grid=6, iterations=4), "critical-path"),
+        ("sparselu", dict(n_blocks=6), "memory-aware"),
+    ],
+)
+def test_soa_executor_matches_object_mode_reference(workload, params, scheduler):
+    """Real workloads through the SoA executor vs. the retired object-mode
+    loop (tests/reference_executor.py): every TaskRecord field identical.
+    The property suite covers random programs; this pins the shapes the
+    tier-1 experiments actually run."""
+    from repro.core.manager import DataManagerPolicy
+    from repro.memory.hms import HeterogeneousMemorySystem
+    from repro.memory.presets import dram
+    from repro.tasking.executor import Executor, ExecutorConfig
+    from repro.workloads import build
+
+    from tests.reference_executor import ReferenceExecutor
+
+    cfg = ExecutorConfig(n_workers=4, scheduler=scheduler)
+    nvm = nvm_bandwidth_scaled(0.5)
+    w = build(workload, **params)  # one graph: uids must line up across runs
+    traces = []
+    for cls in (Executor, ReferenceExecutor):
+        hms = HeterogeneousMemorySystem(dram(), nvm)
+        traces.append(cls(hms, cfg).run(w.graph, DataManagerPolicy()))
+    got, want = traces
+    assert len(got.records) == len(want.records)
+    for g, w in zip(got.records, want.records):
+        assert (
+            g.task.name,
+            g.worker,
+            g.start,
+            g.finish,
+            g.compute_time,
+            g.memory_time,
+            g.overhead_time,
+            g.stall_time,
+            dict(g.residency),
+        ) == (
+            w.task.name,
+            w.worker,
+            w.start,
+            w.finish,
+            w.compute_time,
+            w.memory_time,
+            w.overhead_time,
+            w.stall_time,
+            dict(w.residency),
+        )
+    assert got.makespan == want.makespan
+    assert got.summary() == want.summary()

@@ -1,10 +1,21 @@
-"""Property-based executor invariants over random task programs."""
+"""Property-based executor invariants over random task programs.
+
+The second half of this module is the differential harness for the
+structure-of-arrays executor rewrite: every random program is run through
+both the production :class:`Executor` and the object-mode
+:class:`tests.reference_executor.ReferenceExecutor` (the pre-rewrite
+dispatch loop, kept verbatim), and the two traces must agree on every
+``TaskRecord`` field bit-for-bit — with and without schedulers,
+migrations, and fault injection.
+"""
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines import DRAMOnlyPolicy, NVMOnlyPolicy
+from repro.baselines.policies import BasePolicy
 from repro.core.manager import DataManagerPolicy
+from repro.faults import FaultInjector, resolve_plan
 from repro.memory.hms import HeterogeneousMemorySystem
 from repro.memory.presets import dram, nvm_bandwidth_scaled
 from repro.tasking.access import AccessMode, ObjectAccess, PATTERNS
@@ -13,6 +24,8 @@ from repro.tasking.executor import Executor, ExecutorConfig
 from repro.tasking.graph import TaskGraph
 from repro.tasking.task import Task
 from repro.util.units import MIB
+
+from tests.reference_executor import ReferenceExecutor
 
 
 @st.composite
@@ -98,3 +111,97 @@ def test_manager_respects_machine_invariants(graph):
     hms.check_invariants()
     # every object is placed exactly once on exactly one device
     assert set(hms.residency()) == {o.uid for o in graph.objects}
+
+
+# ----------------------------------------------------------------------
+# SoA executor vs. object-mode reference: byte-identical traces.
+# ----------------------------------------------------------------------
+
+
+class _PromotingPolicy(BasePolicy):
+    """Promotes every object on its first read to exercise migrations."""
+
+    name = "promoting"
+
+    def after_task(self, task, record, ctx):
+        for obj, acc in task.accesses.items():
+            if acc.mode.reads and not ctx.hms.in_dram(obj):
+                if ctx.hms.dram_free_bytes() >= obj.size_bytes:
+                    ctx.request_migration(obj, ctx.dram, record.finish)
+        return 0.0
+
+
+def _record_tuple(r):
+    return (
+        r.task.tid,
+        r.worker,
+        r.start,
+        r.finish,
+        r.compute_time,
+        r.memory_time,
+        r.overhead_time,
+        r.stall_time,
+        dict(r.residency),
+    )
+
+
+def _assert_traces_identical(got, want):
+    assert len(got.records) == len(want.records)
+    for g, w in zip(got.records, want.records):
+        assert _record_tuple(g) == _record_tuple(w)
+    assert got.makespan == want.makespan
+    assert got.summary() == want.summary()
+    assert getattr(got, "faults", None) == getattr(want, "faults", None)
+
+
+def _run_pair(graph, make_policy, workers, *, scheduler=None, faults=None,
+              dram_bytes=None):
+    cfg = ExecutorConfig(n_workers=workers, scheduler=scheduler)
+    nvm = nvm_bandwidth_scaled(0.5)
+    traces = []
+    for cls in (Executor, ReferenceExecutor):
+        d = dram(dram_bytes) if dram_bytes is not None else dram()
+        hms = HeterogeneousMemorySystem(d, nvm)
+        injector = None
+        if faults is not None:
+            injector = FaultInjector.for_hms(resolve_plan(faults), hms)
+        traces.append(cls(hms, cfg, injector=injector).run(graph, make_policy()))
+    return traces
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=random_program(), workers=st.integers(1, 8))
+def test_soa_matches_reference_nvm_only(graph, workers):
+    got, want = _run_pair(graph, NVMOnlyPolicy, workers)
+    _assert_traces_identical(got, want)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    graph=random_program(),
+    workers=st.integers(1, 6),
+    scheduler=st.sampled_from(["fifo", "critical-path", "memory-aware"]),
+)
+def test_soa_matches_reference_under_schedulers(graph, workers, scheduler):
+    got, want = _run_pair(graph, DataManagerPolicy, workers, scheduler=scheduler)
+    _assert_traces_identical(got, want)
+
+
+@settings(max_examples=15, deadline=None)
+@given(graph=random_program(), workers=st.integers(1, 6))
+def test_soa_matches_reference_with_migrations(graph, workers):
+    got, want = _run_pair(
+        graph, _PromotingPolicy, workers, dram_bytes=int(16 * MIB)
+    )
+    _assert_traces_identical(got, want)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    graph=random_program(),
+    workers=st.integers(1, 6),
+    faults=st.sampled_from(["flaky-copies", "brownout", "moderate"]),
+)
+def test_soa_matches_reference_under_faults(graph, workers, faults):
+    got, want = _run_pair(graph, DataManagerPolicy, workers, faults=faults)
+    _assert_traces_identical(got, want)

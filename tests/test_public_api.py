@@ -50,6 +50,79 @@ class TestImportSurface:
         assert callable(repro.read_footprint)
 
 
+class TestFrozenExecutionAPI:
+    """The execution API froze with the SoA executor rewrite (see
+    docs/architecture.md).  These snapshots are load-bearing: growing the
+    surface needs a deliberate edit here, shrinking or renaming it is a
+    compatibility break."""
+
+    def test_executor_module_exports(self):
+        from repro.tasking import executor
+
+        assert executor.__all__ == [
+            "ExecutorConfig",
+            "ExecContext",
+            "PlacementPolicy",
+            "Executor",
+        ]
+
+    def test_executor_config_fields(self):
+        import dataclasses
+
+        from repro.tasking.executor import ExecutorConfig
+
+        assert [f.name for f in dataclasses.fields(ExecutorConfig)] == [
+            "n_workers",
+            "contention",
+            "overlap_factor",
+            "dram_cache",
+            "sampling_interval_cycles",
+            "cpu_ghz",
+            "seed",
+            "migration_overhead_s",
+            "scheduler",
+        ]
+        # the config object is a frozen value type
+        cfg = ExecutorConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.n_workers = 8
+
+    def test_executor_constructor_signature(self):
+        import inspect
+
+        from repro.tasking.executor import Executor
+
+        params = inspect.signature(Executor.__init__).parameters
+        assert list(params) == [
+            "self",
+            "hms",
+            "config",
+            "scheduler",  # deprecated shim, one release
+            "injector",
+            "telemetry",
+            "legacy",
+        ]
+        assert params["legacy"].kind is inspect.Parameter.VAR_KEYWORD
+
+    def test_exec_context_surface(self):
+        from repro.tasking.executor import ExecContext
+
+        public = {n for n in dir(ExecContext) if not n.startswith("_")}
+        assert public == {
+            "dram",
+            "nvm",
+            "place_initial",
+            "request_migration",
+            "profile",
+            "migration_backlog",
+            "profiling_overhead",
+            "upcoming_view",
+            "remaining_view",
+            "upcoming",    # deprecated shim, one release
+            "remaining",   # deprecated shim, one release
+        }
+
+
 class TestReadmeQuickstart:
     def test_quickstart_snippet_runs(self):
         from repro import (

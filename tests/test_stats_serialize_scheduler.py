@@ -104,7 +104,7 @@ class TestMemoryAwareScheduler:
         nvm = nvm_bandwidth_scaled(0.5)
         w = build("heat", grid=5, iterations=4)
         hms = HeterogeneousMemorySystem(dram(), nvm)
-        tr = Executor(hms, ExecutorConfig(n_workers=4), MemoryAwarePolicy()).run(
+        tr = Executor(hms, ExecutorConfig(n_workers=4, scheduler=MemoryAwarePolicy())).run(
             w.graph, DataManagerPolicy()
         )
         tr.validate()
@@ -136,7 +136,7 @@ class TestMemoryAwareScheduler:
         def run(sched):
             w = build("cg", n_chunks=6, iterations=4)
             hms = HeterogeneousMemorySystem(dram(), nvm)
-            return Executor(hms, ExecutorConfig(n_workers=8), sched).run(
+            return Executor(hms, ExecutorConfig(n_workers=8, scheduler=sched)).run(
                 w.graph, DataManagerPolicy()
             ).makespan
 

@@ -66,7 +66,9 @@ class TestSchedulers:
     def test_all_schedulers_complete(self, sched, nvm_bw):
         g = make_fork_join_graph(width=8)
         hms = HeterogeneousMemorySystem(dram_for(g), nvm_bw)
-        tr = Executor(hms, ExecutorConfig(n_workers=4), sched()).run(g, NVMOnlyPolicy())
+        tr = Executor(hms, ExecutorConfig(n_workers=4, scheduler=sched())).run(
+            g, NVMOnlyPolicy()
+        )
         tr.validate()
         assert len(tr.records) == len(g.tasks)
 
@@ -171,8 +173,8 @@ class TestContextLookahead:
 
             def before_task(self, task, ctx, now):
                 if task.name == "step0":
-                    seen["upcoming"] = [t.name for t in ctx.upcoming(3)]
-                    seen["remaining"] = len(ctx.remaining())
+                    seen["upcoming"] = [t.name for t in ctx.upcoming_view(3)]
+                    seen["remaining"] = len(ctx.remaining_view())
                 return 0.0
 
         g = make_chain_graph(n_tasks=5)
