@@ -139,29 +139,34 @@ class ResultCache:
         self,
         max_entries: int | None = None,
         max_age_s: float | None = None,
+        now: float | None = None,
     ) -> int:
         """Evict stale entries (both formats); returns files removed.
 
         ``max_age_s`` drops entries whose file mtime is older than that
         many seconds; ``max_entries`` then keeps only the most recently
-        touched N entries (LRU by mtime).  Entries that vanish mid-scan
-        (concurrent prune or invalidate) are skipped silently.
+        touched N entries (LRU by mtime, mtime ties broken by file name so
+        the survivor set is deterministic).  ``now`` is the reference
+        clock for the age cutoff — injectable so age-based eviction is
+        testable without sleeping; ``None`` reads the wall clock.
+        Entries that vanish mid-scan (concurrent prune or invalidate) are
+        skipped silently.
         """
-        stamped: list[tuple[float, Path]] = []
+        stamped: list[tuple[float, str, Path]] = []
         for entry in self._all_entries():
             try:
-                stamped.append((entry.stat().st_mtime, entry))
+                stamped.append((entry.stat().st_mtime, entry.name, entry))
             except OSError:
                 continue
-        stamped.sort(reverse=True)  # newest first
+        stamped.sort(key=lambda s: (s[0], s[1]), reverse=True)  # newest first
 
         doomed: list[Path] = []
         if max_age_s is not None:
-            cutoff = time.time() - max_age_s
+            cutoff = (time.time() if now is None else now) - max_age_s
             while stamped and stamped[-1][0] < cutoff:
-                doomed.append(stamped.pop()[1])
+                doomed.append(stamped.pop()[2])
         if max_entries is not None and len(stamped) > max_entries:
-            doomed.extend(e for _, e in stamped[max_entries:])
+            doomed.extend(e for _, _, e in stamped[max_entries:])
 
         removed = 0
         for entry in doomed:

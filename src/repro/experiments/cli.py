@@ -10,9 +10,12 @@ codes (0 ok, 1 a run or gate failed, 2 usage / unknown name)::
     repro-experiments sweep cg,heat --policies tahoe,nvm-only --nvm bw-1/2
     repro-experiments trace heat --policy tahoe --nvm bw-1/8 --gantt
     repro-experiments metrics cg --policy tahoe --format prom
+    repro-experiments serve heat --policy tahoe --stream '{"horizon_s":0.4}'
     repro-experiments bench --out BENCH_PR5.json
 
-``metrics`` executes one described run under telemetry and exports the
+``serve`` runs one described workload as an open multi-tenant service
+(seeded arrivals, credit-based admission, batch scheduling rounds — see
+``docs/service.md``).  ``metrics`` executes one described run under telemetry and exports the
 metric series, time-series samples and placement audit log (JSON / CSV /
 Prometheus text).  ``bench`` runs the tier-1 benchmark suite under
 self-instrumentation and writes a wall-clock profile (see
@@ -422,6 +425,97 @@ def _metrics_main(argv: list[str]) -> int:
 
 
 # ----------------------------------------------------------------------
+# serve
+# ----------------------------------------------------------------------
+def _serve_main(argv: list[str]) -> int:
+    """The ``serve`` verb: one open-system stream run, summarized."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments serve",
+        description="Run one described workload as an open multi-tenant "
+        "service: seeded tenant arrivals, credit-based admission, batch "
+        "scheduling rounds (see docs/service.md).",
+        parents=[_common_parser(("table", "json"), "table")],
+    )
+    _add_run_description(parser)
+    parser.add_argument(
+        "--stream", default="on", metavar="JSON",
+        help="stream config overrides as JSON (tenants, horizon_s, "
+        "round_interval_s, lanes, seed); default: the standard tenant mix",
+    )
+    parser.add_argument(
+        "--tenant", action="append", default=[], metavar="JSON",
+        help="add one tenant (JSON TenantSpec fields, e.g. "
+        '\'{"name":"t0","rate_hz":20}\'); repeatable; overrides the '
+        "roster in --stream",
+    )
+    args = parser.parse_args(argv)
+    _apply_common(args)
+
+    import json
+
+    from repro.experiments.service import resolve_stream, run_service
+
+    try:
+        stream = resolve_stream(args.stream)
+        if stream is None:
+            print("stream is off; nothing to serve", file=sys.stderr)
+            return 2
+        if args.tenant:
+            from dataclasses import replace as dc_replace
+
+            from repro.workloads.arrivals import tenant_from_json
+
+            stream = dc_replace(
+                stream, tenants=tuple(tenant_from_json(t) for t in args.tenant)
+            )
+        spec = _spec_from_args(args, args.workload)
+        spec = spec.replace(stream=stream)
+        result = run_service(spec).raise_if_failed()
+    except (KeyError, ValueError, OSError, RuntimeError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(result.summary, sort_keys=True, indent=2))
+        return 0
+
+    from repro.util.tables import Table
+
+    svc = result.summary["service"]
+    print(
+        f"{spec.label()}: {int(svc['jobs_submitted'])} jobs over "
+        f"{svc['horizon_s'] * 1e3:.1f} ms virtual, "
+        f"{int(svc['jobs_completed'])} completed, "
+        f"{int(svc['jobs_rejected'])} rejected "
+        f"({100 * svc['reject_rate']:.1f}%), "
+        f"{int(svc['rounds'])} rounds"
+    )
+    table = Table(
+        ["tenant", "submitted", "admitted", "rejected", "p50 slowdown",
+         "p99 slowdown", "p99 response (ms)", "credit floor (MiB)"],
+        title="Per-tenant service quality",
+        float_format="{:.2f}",
+    )
+    for name, t in sorted(result.summary["tenants"].items()):
+        table.add_row(
+            [
+                name,
+                int(t["submitted"]),
+                int(t["admitted"]),
+                int(t["rejected"]),
+                t["p50_slowdown"],
+                t["p99_slowdown"],
+                t["p99_response_s"] * 1e3,
+                t["credit_floor_bytes"] / (1024 * 1024),
+            ]
+        )
+    print(table.render())
+    print(f"event log: {result.summary['n_events']} events, "
+          f"digest {result.summary['event_log_digest'][:16]}")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # bench
 # ----------------------------------------------------------------------
 def _bench_main(argv: list[str]) -> int:
@@ -544,6 +638,7 @@ _VERBS = {
     "sweep": _sweep_main,
     "trace": _trace_main,
     "metrics": _metrics_main,
+    "serve": _serve_main,
     "bench": _bench_main,
 }
 

@@ -9,6 +9,7 @@ from repro.experiments import (
     e10_energy_oracle,
     e11_scheduler,
     e12_resilience,
+    e13_service,
     e2_object_sensitivity,
     e3_headtohead,
     e4_breakdown,
@@ -36,6 +37,7 @@ EXPERIMENTS: dict[str, ModuleType] = {
         e10_energy_oracle,
         e11_scheduler,
         e12_resilience,
+        e13_service,
     )
 }
 

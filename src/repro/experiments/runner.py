@@ -207,6 +207,12 @@ def execute_spec(spec: RunSpec, telemetry: Any = None) -> ExecutionTrace:
 
 
 def _execute(spec: RunSpec, telemetry: Any = None) -> tuple[ExecutionTrace, MemoryDevice]:
+    if spec.stream is not None:
+        raise ValueError(
+            "stream-mode specs describe an open system, not one trace; "
+            "run them through run_and_summarize() / "
+            "repro.experiments.service.run_service() instead of execute_spec()"
+        )
     params = workload_params(spec.workload, spec.fast)
     params.update(spec.workload_kwargs)
     policy = make_policy(spec.policy, **spec.policy_kwargs)
@@ -246,7 +252,17 @@ def _execute(spec: RunSpec, telemetry: Any = None) -> tuple[ExecutionTrace, Memo
 
 
 def run_and_summarize(spec: RunSpec) -> RunResult:
-    """Execute a spec and digest the trace into a cacheable result."""
+    """Execute a spec and digest it into a cacheable result.
+
+    Closed-DAG specs run one graph through the executor; specs carrying a
+    ``stream`` config run the open-system service instead (the per-job
+    closed-DAG sub-runs still flow through this function, with
+    ``stream=None``).
+    """
+    if spec.stream is not None:
+        from repro.experiments.service import run_service
+
+        return run_service(spec)
     trace, dram_dev = _execute(spec)
     return RunResult.from_trace(spec, trace, dram_dev, spec.nvm)
 

@@ -157,14 +157,23 @@ class RunSpec:
     #: (off).  Same omitted-when-off convention as ``faults``, so
     #: uninstrumented specs keep their pre-subsystem cache keys.
     telemetry: Any = None
+    #: Open-system service mode: a
+    #: :class:`~repro.experiments.service.StreamSpec`, ``True``/"on"
+    #: (default tenant mix), a JSON string/mapping of field overrides, or
+    #: ``None`` (closed-DAG mode).  Same omitted-when-off convention as
+    #: ``faults``/``telemetry``, so closed-DAG specs keep their
+    #: pre-service-mode cache keys byte-identical.
+    stream: Any = None
 
     def __post_init__(self) -> None:
+        from repro.experiments.service import resolve_stream
         from repro.metrics.telemetry import resolve_telemetry
 
         for name in ("workload_overrides", "policy_overrides", "exec_overrides"):
             object.__setattr__(self, name, _freeze(getattr(self, name) or ()))
         object.__setattr__(self, "faults", resolve_plan(self.faults))
         object.__setattr__(self, "telemetry", resolve_telemetry(self.telemetry))
+        object.__setattr__(self, "stream", resolve_stream(self.stream))
 
     # -- dict views of the frozen overrides ----------------------------
     @property
@@ -205,6 +214,11 @@ class RunSpec:
                 if value is None:
                     continue
                 value = value.to_dict()
+            elif f.name == "stream":
+                # Same convention again: closed-DAG specs never mention it.
+                if value is None:
+                    continue
+                value = value.to_dict()
             out[f.name] = value
         return out
 
@@ -242,6 +256,8 @@ class RunSpec:
             extras.append(self.faults.label())
         if self.telemetry is not None:
             extras.append(self.telemetry.label())
+        if self.stream is not None:
+            extras.append(self.stream.label())
         tail = f" [{' '.join(extras)}]" if extras else ""
         return f"{self.workload}/{self.policy}@{self.nvm.name}{tail}"
 

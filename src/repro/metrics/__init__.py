@@ -22,6 +22,12 @@ from repro.metrics.export import (
 )
 from repro.metrics.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.metrics.samplers import SamplerSet, TimeSeriesSampler
+from repro.metrics.service import (
+    percentile,
+    record_service_metrics,
+    service_summary,
+    tenant_summaries,
+)
 from repro.metrics.telemetry import Telemetry, TelemetryConfig, resolve_telemetry
 
 __all__ = [
@@ -41,4 +47,8 @@ __all__ = [
     "to_prometheus",
     "json_digest",
     "export_as",
+    "percentile",
+    "record_service_metrics",
+    "service_summary",
+    "tenant_summaries",
 ]

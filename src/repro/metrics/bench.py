@@ -9,6 +9,9 @@ timing four phases of each run with the host clock:
   hooks), measured through a timing proxy around the policy object
 - ``executor_loop``: everything else inside ``Executor.run``
 - ``cache_io``: a result-cache put/get round-trip per run
+- ``service_round``: one stream-mode service run (arrival generation,
+  admission, batch rounds) over pre-simulated jobs — the open-system
+  driver's own overhead, excluding the closed-DAG simulations it reuses
 
 Host wall clock is machine-dependent, so the profile also stores every
 time normalized by a calibration primitive (a fixed pure-Python loop
@@ -46,7 +49,7 @@ BENCH_SUITE: tuple[tuple[str, str], ...] = (
     ("sparselu", "nvm-only"),
 )
 
-PHASES = ("graph_build", "placement", "executor_loop", "cache_io")
+PHASES = ("graph_build", "placement", "executor_loop", "cache_io", "service_round")
 
 
 class _PhaseClock:
@@ -204,6 +207,40 @@ def _bench_one(workload: str, policy_name: str, seed: int | None,
     }
 
 
+def _bench_service(seed: int | None, clock: _PhaseClock) -> None:
+    """Time one stream-mode service pass: arrival generation, admission,
+    and the batch-round event loop over a fixed tenant mix.
+
+    Service times are constants (no closed-DAG simulation inside the
+    timed region), so the phase isolates the open-system driver's own
+    overhead — the cost ``serve`` adds on top of the cached job runs.
+    """
+    from repro.tasking.stream import AdmissionController, JobRequest, StreamDriver
+    from repro.util.units import MIB
+    from repro.workloads.arrivals import TenantSpec, generate_arrivals
+
+    tenants = (
+        TenantSpec(name="steady", rate_hz=400.0, arrival="poisson", credit_mib=512.0),
+        TenantSpec(name="bursty", rate_hz=200.0, arrival="burst", credit_mib=256.0),
+    )
+    service_s = {"steady": 2e-3, "bursty": 5e-3}
+    t0 = perf_counter()
+    arrivals = generate_arrivals(tenants, horizon_s=1.0, seed=seed or 0)
+    jobs = [
+        JobRequest(a.job_id, a.tenant, a.time, demand_bytes=16 * MIB)
+        for a in arrivals
+    ]
+    admission = AdmissionController({t.name: int(t.credit_mib * MIB) for t in tenants})
+    StreamDriver(
+        jobs,
+        admission,
+        job_runner=lambda job: service_s[job.tenant],
+        round_interval_s=0.002,
+        lanes=4,
+    ).run()
+    clock.add("service_round", perf_counter() - t0)
+
+
 def run_bench(reps: int = 3, seed: int | None = None) -> dict[str, Any]:
     """Run the benchmark matrix; returns the profile dict (see module doc)."""
     import tempfile
@@ -220,6 +257,7 @@ def run_bench(reps: int = 3, seed: int | None = None) -> dict[str, Any]:
                 )
                 rec["rep"] = rep
                 runs.append(rec)
+            _bench_service(seed, clock)
     total_wall_s = perf_counter() - suite_t0
 
     # Noise-robust gate statistic: the fastest complete rep.  Transient

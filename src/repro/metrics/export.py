@@ -31,6 +31,7 @@ __all__ = [
     "to_json",
     "json_digest",
     "to_csv",
+    "parse_labels_str",
     "to_prometheus",
     "EXPORT_FORMATS",
     "export_as",
@@ -71,8 +72,62 @@ def json_digest(data: Telemetry | Mapping[str, Any]) -> str:
 _CSV_COLUMNS = ("record", "name", "labels", "field", "time", "value")
 
 
+def _escape_label_part(part: str) -> str:
+    """Escape one key or value for the ``k=v;k=v`` labels column.
+
+    Backslash-escapes the three structural characters (``\\``, ``=``,
+    ``;``) so a value containing them round-trips instead of producing an
+    ambiguous row.  Backslash goes first so escapes never double-expand.
+    """
+    return (
+        part.replace("\\", "\\\\").replace("=", "\\=").replace(";", "\\;")
+    )
+
+
 def _labels_str(labels: Mapping[str, str]) -> str:
-    return ";".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return ";".join(
+        f"{_escape_label_part(str(k))}={_escape_label_part(str(labels[k]))}"
+        for k in sorted(labels)
+    )
+
+
+def parse_labels_str(text: str) -> dict[str, str]:
+    """Inverse of the CSV ``labels`` column encoding (round-trip tested).
+
+    Splits on unescaped ``;`` into pairs and on the first unescaped ``=``
+    within each pair, then unescapes ``\\\\``/``\\=``/``\\;``.
+    """
+    if not text:
+        return {}
+    out: dict[str, str] = {}
+    key_parts: list[str] = []
+    val_parts: list[str] = []
+    current = key_parts
+    i = 0
+    n = len(text)
+
+    def flush() -> None:
+        nonlocal key_parts, val_parts, current
+        if key_parts or val_parts:
+            out["".join(key_parts)] = "".join(val_parts)
+        key_parts, val_parts = [], []
+        current = key_parts
+
+    while i < n:
+        ch = text[i]
+        if ch == "\\" and i + 1 < n:
+            current.append(text[i + 1])
+            i += 2
+            continue
+        if ch == ";":
+            flush()
+        elif ch == "=" and current is key_parts:
+            current = val_parts
+        else:
+            current.append(ch)
+        i += 1
+    flush()
+    return out
 
 
 def to_csv(data: Telemetry | Mapping[str, Any]) -> str:
@@ -120,7 +175,15 @@ def _prom_name(name: str) -> str:
     return out
 
 
-def _prom_escape(value: str) -> str:
+def _prom_escape_help(value: str) -> str:
+    """Escape HELP text: the exposition format escapes only ``\\`` and
+    newline there — double quotes pass through verbatim (escaping them as
+    ``\\"`` renders an invalid HELP line)."""
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _prom_escape_label_value(value: str) -> str:
+    """Escape a label value: ``\\``, ``"`` and newline, per the format."""
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
@@ -131,7 +194,7 @@ def _prom_labels(labels: Mapping[str, str], extra: Mapping[str, str] | None = No
     if not merged:
         return ""
     inner = ",".join(
-        f'{k}="{_prom_escape(str(merged[k]))}"' for k in sorted(merged)
+        f'{k}="{_prom_escape_label_value(str(merged[k]))}"' for k in sorted(merged)
     )
     return "{" + inner + "}"
 
@@ -162,7 +225,7 @@ def to_prometheus(data: Telemetry | MetricsRegistry) -> str:
         kind = insts[0].kind
         help_text = registry.help_of(name)
         if help_text:
-            lines.append(f"# HELP {pname} {_prom_escape(help_text)}")
+            lines.append(f"# HELP {pname} {_prom_escape_help(help_text)}")
         lines.append(f"# TYPE {pname} {kind}")
         for inst in insts:
             labels = inst.labels_dict

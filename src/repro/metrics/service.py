@@ -1,0 +1,129 @@
+"""Service-mode metrics: per-tenant slowdown percentiles, admission
+counters, and round-duration samplers.
+
+Everything here is a pure, deterministic function of a
+:class:`~repro.tasking.stream.StreamResult` — values are virtual-time
+only and percentiles use nearest-rank, so two runs of the same stream
+spec under the same seed summarize byte-identically (the same property
+the telemetry exporters pin).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # structural only; no runtime dependency on tasking
+    from repro.tasking.stream import StreamResult
+
+__all__ = [
+    "percentile",
+    "tenant_summaries",
+    "service_summary",
+    "record_service_metrics",
+]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]); 0.0 for no samples.
+
+    Nearest-rank (not interpolated) so the result is always an observed
+    sample and stable under float formatting.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q out of range: {q}")
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * q // 100)) if q > 0 else 1
+    return float(ordered[min(int(rank), len(ordered)) - 1])
+
+
+def tenant_summaries(result: "StreamResult") -> dict[str, dict[str, float]]:
+    """Per-tenant service quality, keyed by tenant name (sorted).
+
+    Slowdown is response time over isolated service time, so 1.0 means a
+    job ran as if it had the machine to itself; the p99 tail is the
+    headline multi-tenancy metric in E13.
+    """
+    tenants = sorted(result.admitted)
+    by_tenant: dict[str, list] = {t: [] for t in tenants}
+    rejected: dict[str, int] = {t: 0 for t in tenants}
+    for job in result.jobs:
+        if job.rejected:
+            rejected[job.tenant] = rejected.get(job.tenant, 0) + 1
+        else:
+            by_tenant.setdefault(job.tenant, []).append(job)
+
+    out: dict[str, dict[str, float]] = {}
+    for tenant in tenants:
+        done = by_tenant[tenant]
+        slowdowns = [j.slowdown for j in done]
+        responses = [j.response_s for j in done]
+        out[tenant] = {
+            "submitted": float(len(done) + rejected[tenant]),
+            "admitted": float(result.admitted.get(tenant, 0)),
+            "rejected": float(result.rejected.get(tenant, 0)),
+            "completed": float(len(done)),
+            "p50_slowdown": percentile(slowdowns, 50),
+            "p99_slowdown": percentile(slowdowns, 99),
+            "p50_response_s": percentile(responses, 50),
+            "p99_response_s": percentile(responses, 99),
+            "mean_service_s": (
+                sum(j.service_s for j in done) / len(done) if done else 0.0
+            ),
+            "credit_floor_bytes": float(result.credit_floor.get(tenant, 0)),
+        }
+    return out
+
+
+def service_summary(result: "StreamResult") -> dict[str, float]:
+    """Flat whole-service summary (the shape experiment metrics expect)."""
+    done = [j for j in result.jobs if not j.rejected]
+    n_rejected = sum(result.rejected.values())
+    spans = [r.span_s for r in result.rounds]
+    scheduled = [float(r.scheduled) for r in result.rounds]
+    slowdowns = [j.slowdown for j in done]
+    return {
+        "jobs_submitted": float(len(result.jobs)),
+        "jobs_completed": float(len(done)),
+        "jobs_rejected": float(n_rejected),
+        "reject_rate": (n_rejected / len(result.jobs)) if result.jobs else 0.0,
+        "p50_slowdown": percentile(slowdowns, 50),
+        "p99_slowdown": percentile(slowdowns, 99),
+        "rounds": float(len(result.rounds)),
+        "p50_round_span_s": percentile(spans, 50),
+        "p99_round_span_s": percentile(spans, 99),
+        "mean_jobs_per_round": (
+            sum(scheduled) / len(scheduled) if scheduled else 0.0
+        ),
+        "horizon_s": result.horizon_s,
+    }
+
+
+def record_service_metrics(result: "StreamResult", registry) -> None:
+    """Mirror a stream run into a :class:`MetricsRegistry` so the
+    standard exporters (CSV / Prometheus / JSON) cover service mode.
+
+    Only virtual-time quantities are recorded, preserving the registry's
+    byte-identical-per-seed export guarantee.
+    """
+    for tenant in sorted(result.admitted):
+        labels = {"tenant": tenant}
+        registry.counter("service_jobs_admitted", labels).inc(
+            result.admitted.get(tenant, 0)
+        )
+        registry.counter("service_jobs_rejected", labels).inc(
+            result.rejected.get(tenant, 0)
+        )
+        registry.gauge("service_credit_floor_bytes", labels).set(
+            result.credit_floor.get(tenant, 0)
+        )
+    slowdown_hist = registry.histogram("service_job_slowdown")
+    for job in result.jobs:
+        if not job.rejected:
+            slowdown_hist.observe(job.slowdown)
+    span_hist = registry.histogram("service_round_span_seconds")
+    sched_hist = registry.histogram("service_round_jobs")
+    for rnd in result.rounds:
+        span_hist.observe(rnd.span_s)
+        sched_hist.observe(float(rnd.scheduled))

@@ -20,6 +20,14 @@ from repro.tasking.scheduler import (
     MemoryAwarePolicy,
 )
 from repro.tasking.executor import Executor, ExecutorConfig, PlacementPolicy, ExecContext
+from repro.tasking.stream import (
+    AdmissionController,
+    JobRecord,
+    JobRequest,
+    RoundRecord,
+    StreamDriver,
+    StreamResult,
+)
 from repro.tasking.trace import ExecutionTrace, TaskRecord
 from repro.tasking.runtime import TaskRuntime
 
@@ -42,4 +50,10 @@ __all__ = [
     "ExecutionTrace",
     "TaskRecord",
     "TaskRuntime",
+    "AdmissionController",
+    "JobRequest",
+    "JobRecord",
+    "RoundRecord",
+    "StreamDriver",
+    "StreamResult",
 ]

@@ -434,22 +434,6 @@ class ExecContext:
         self._remaining_cache = (self._epoch, rem)
         return rem
 
-    def upcoming(self, window: int) -> list[Task]:
-        """Deprecated list form of :meth:`upcoming_view` (one release)."""
-        warn_deprecated(
-            "ExecContext.upcoming() is deprecated and will be removed in the "
-            "next release; use ExecContext.upcoming_view(window) instead"
-        )
-        return list(self.upcoming_view(window))
-
-    def remaining(self) -> list[Task]:
-        """Deprecated list form of :meth:`remaining_view` (one release)."""
-        warn_deprecated(
-            "ExecContext.remaining() is deprecated and will be removed in the "
-            "next release; use ExecContext.remaining_view() instead"
-        )
-        return list(self.remaining_view())
-
     def profile(self, task: Task, record: TaskRecord):
         """Sample the task through the emulated hardware counters.
 

@@ -12,6 +12,12 @@ Registry: ``build(name, **params)`` constructs any registered workload;
 ``WORKLOADS`` lists them.
 """
 
+from repro.workloads.arrivals import (
+    ARRIVAL_KINDS,
+    Arrival,
+    TenantSpec,
+    generate_arrivals,
+)
 from repro.workloads.base import Workload, WORKLOADS, build, workload
 
 # Import for registration side effects.
@@ -31,4 +37,13 @@ from repro.workloads import (  # noqa: F401  (registration imports)
     stream,
 )
 
-__all__ = ["Workload", "WORKLOADS", "build", "workload"]
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "build",
+    "workload",
+    "ARRIVAL_KINDS",
+    "Arrival",
+    "TenantSpec",
+    "generate_arrivals",
+]

@@ -32,21 +32,21 @@ class TestWarningCategory:
         assert issubclass(ReproDeprecationWarning, DeprecationWarning)
 
 
-class TestContextListShims:
-    def test_upcoming_warns_and_matches_view(self):
-        graph, ctx = _context()
-        with pytest.warns(ReproDeprecationWarning, match="upcoming_view"):
-            old = ctx.upcoming(3)
-        assert isinstance(old, list)
-        assert old == list(ctx.upcoming_view(3))
+class TestContextListShimsRemoved:
+    """PR 6 deprecated the list forms for one release; that release has
+    passed and the shims are gone — the view methods are the only API."""
 
-    def test_remaining_warns_and_matches_view(self):
+    def test_upcoming_list_form_is_gone(self):
         graph, ctx = _context()
-        with pytest.warns(ReproDeprecationWarning, match="remaining_view"):
-            old = ctx.remaining()
-        assert isinstance(old, list)
-        assert old == list(ctx.remaining_view())
-        assert len(old) == len(graph.tasks)
+        with pytest.raises(AttributeError):
+            ctx.upcoming(3)
+        assert isinstance(ctx.upcoming_view(3), tuple)
+
+    def test_remaining_list_form_is_gone(self):
+        graph, ctx = _context()
+        with pytest.raises(AttributeError):
+            ctx.remaining()
+        assert len(ctx.remaining_view()) == len(graph.tasks)
 
 
 class TestExecutorConstructor:

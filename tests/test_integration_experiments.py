@@ -9,6 +9,7 @@ import pytest
 from repro.experiments import EXPERIMENTS, get_experiment
 from repro.experiments import runner as runner_mod
 from repro.experiments.e1_gap import run as run_e1
+from repro.experiments.e13_service import LOAD_FACTORS, run as run_e13
 from repro.experiments.e3_headtohead import run as run_e3
 from repro.experiments.e5_migration_stats import run as run_e5
 from repro.experiments.e7_dram_size import run as run_e7
@@ -20,7 +21,7 @@ pytestmark = pytest.mark.integration
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 13)}
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 14)}
 
     def test_get_experiment(self):
         assert get_experiment("E3").EXPERIMENT == "E3"
@@ -126,6 +127,38 @@ class TestE8Shapes:
         m = result.metrics
         for wl in ("cg", "nbody", "heat"):
             assert m[f"{wl}/tahoe"] < m[f"{wl}/nvm-only"] * 0.8
+
+
+class TestE13Shapes:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_e13(fast=True)
+
+    def test_reject_rate_monotone_in_offered_load(self, result):
+        m = result.metrics
+        for policy in ("tahoe", "nvm-only"):
+            rates = [m[f"{policy}/x{load:g}/reject_rate"] for load in LOAD_FACTORS]
+            assert rates[0] == 0.0  # low load: nothing shed
+            assert all(b >= a - 0.05 for a, b in zip(rates, rates[1:]))
+            assert rates[-1] > 0.0  # past saturation: load is shed
+
+    def test_admitted_slowdown_stays_bounded(self, result):
+        # Admission shedding is the point: admitted jobs never see an
+        # unbounded open-system queue even past the saturation knee.
+        m = result.metrics
+        for policy in ("tahoe", "nvm-only"):
+            for load in LOAD_FACTORS:
+                assert 1.0 <= m[f"{policy}/x{load:g}/p99_slowdown"] < 10.0
+
+    def test_manager_sheds_no_more_than_nvm_only(self, result):
+        m = result.metrics
+        total_tahoe = sum(m[f"tahoe/x{load:g}/reject_rate"] for load in LOAD_FACTORS)
+        total_nvm = sum(m[f"nvm-only/x{load:g}/reject_rate"] for load in LOAD_FACTORS)
+        assert total_tahoe <= total_nvm + 0.05
+
+    def test_tables_rendered(self, result):
+        text = result.render()
+        assert "slowdown" in text and "round" in text
 
 
 class TestRunnerHelpers:

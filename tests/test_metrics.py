@@ -122,6 +122,82 @@ class TestPrometheusLint:
             assert series[-1][0] == "+Inf", key
 
 
+class TestExporterEscaping:
+    """Regression tests for the exporter escaping fixes: the CSV labels
+    column must round-trip structural characters, and Prometheus HELP
+    lines must not escape double quotes (only label values do)."""
+
+    NASTY = {
+        "path": "a=b;c",
+        "expr": "x\\=y",
+        "plain": "ok",
+        "trailing": "end\\",
+    }
+
+    def test_csv_labels_round_trip(self):
+        from repro.metrics.export import _labels_str, parse_labels_str
+
+        encoded = _labels_str(self.NASTY)
+        assert parse_labels_str(encoded) == self.NASTY
+
+    @pytest.mark.parametrize(
+        "labels",
+        [
+            {},
+            {"k": ""},
+            {"k": ";"},
+            {"k": "="},
+            {"k": "\\"},
+            {"k": "\\;"},
+            {"a;b": "c=d", "e\\f": "g;h"},
+        ],
+    )
+    def test_csv_labels_round_trip_edge_cases(self, labels):
+        from repro.metrics.export import _labels_str, parse_labels_str
+
+        assert parse_labels_str(_labels_str(labels)) == labels
+
+    def test_csv_rows_with_nasty_labels_parse_back(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", labels=self.NASTY).inc(3)
+        text = to_csv({"metrics": reg.snapshot()})
+        rows = text.splitlines()
+        assert rows[0] == "record,name,labels,field,time,value"
+        import csv as csv_mod
+        import io
+
+        (row,) = list(csv_mod.DictReader(io.StringIO(text)))
+        from repro.metrics.export import parse_labels_str
+
+        assert parse_labels_str(row["labels"]) == self.NASTY
+
+    def test_prom_help_keeps_quotes_verbatim(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", help='Counts "hits" per tier \\ tenant').inc()
+        text = to_prometheus(reg)
+        help_line = next(ln for ln in text.splitlines() if ln.startswith("# HELP"))
+        # Quotes verbatim; backslash escaped; no \" sequence anywhere.
+        assert '"hits"' in help_line
+        assert "\\\\" in help_line
+        assert '\\"' not in help_line
+
+    def test_prom_help_escapes_newline(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth", help="line one\nline two").set(1)
+        text = to_prometheus(reg)
+        help_line = next(ln for ln in text.splitlines() if ln.startswith("# HELP"))
+        assert "\n" not in help_line and "\\n" in help_line
+
+    def test_prom_label_values_still_escape_quotes(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", labels={"tenant": 'say "hi"\\now'}).inc()
+        text = to_prometheus(reg)
+        sample = next(
+            ln for ln in text.splitlines() if ln and not ln.startswith("#")
+        )
+        assert 'tenant="say \\"hi\\"\\\\now"' in sample
+
+
 class TestAuditReconciliation:
     @pytest.fixture(scope="class")
     def run(self):
@@ -221,6 +297,7 @@ class TestBenchProfile:
         assert profile["n_runs"] == len(profile["runs"]) > 0
         assert set(profile["phases"]) == {
             "graph_build", "placement", "executor_loop", "cache_io",
+            "service_round",
         }
         assert profile["calibration_s"] > 0
         assert profile["normalized_total"] > 0
@@ -295,8 +372,8 @@ class TestStablePolicyAPI:
             if not n.startswith("_") and callable(v) or isinstance(v, property)
         }
         assert public == {
-            "dram", "nvm", "place_initial", "request_migration", "upcoming",
-            "remaining", "upcoming_view", "remaining_view", "profile",
+            "dram", "nvm", "place_initial", "request_migration",
+            "upcoming_view", "remaining_view", "profile",
             "migration_backlog", "profiling_overhead",
         }
 

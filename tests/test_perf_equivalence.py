@@ -68,6 +68,13 @@ SPOT_SPECS: dict[str, RunSpec] = {
     "e12": RunSpec(
         "cg", "tahoe", nvm_bandwidth_scaled(0.5), fast=True, faults="flaky-copies"
     ),
+    "e13": RunSpec(
+        "heat",
+        "tahoe",
+        nvm_bandwidth_scaled(0.5),
+        fast=True,
+        stream={"horizon_s": 0.2, "round_interval_s": 0.005, "seed": 7},
+    ),
 }
 
 #: Not tied to an experiment id, but exercises the one graph transform

@@ -118,8 +118,6 @@ class TestFrozenExecutionAPI:
             "profiling_overhead",
             "upcoming_view",
             "remaining_view",
-            "upcoming",    # deprecated shim, one release
-            "remaining",   # deprecated shim, one release
         }
 
 

@@ -305,6 +305,38 @@ class TestMixedFormatCache:
         assert js.get("k0") is None and js.get("k1") is None
         assert js.get("k2") == {"i": 2} and js.get("k3") == {"i": 3}
 
+    def test_prune_age_with_injected_clock(self, tmp_path):
+        import os
+
+        d = tmp_path / "cache"
+        cache = ResultCache(d, binary=False)
+        for i in range(3):
+            cache.put(f"k{i}", {"i": i})
+            os.utime(d / f"k{i}.json", (1000.0 * (i + 1),) * 2)
+        # Reference clock injected: k0 (t=1000) and k1 (t=2000) are older
+        # than 1500 s at now=3600; k2 (t=3000) survives.  No sleeping, no
+        # wall-clock dependence.
+        removed = cache.prune(max_age_s=1500.0, now=3600.0)
+        assert removed == 2
+        assert cache.get("k2") == {"i": 2}
+        assert cache.get("k0") is None and cache.get("k1") is None
+
+    def test_prune_mtime_ties_break_by_name(self, tmp_path):
+        import os
+
+        d = tmp_path / "cache"
+        cache = ResultCache(d, binary=False)
+        for name in ("aa", "bb", "cc", "dd"):
+            cache.put(name, {"k": name})
+            os.utime(d / f"{name}.json", (1000.0, 1000.0))  # all tied
+        # LRU by (mtime, name): with every mtime equal, the lexically
+        # largest names count as newest, so 'aa' and 'bb' are evicted —
+        # deterministically, on any filesystem timestamp resolution.
+        removed = cache.prune(max_entries=2)
+        assert removed == 2
+        assert cache.get("aa") is None and cache.get("bb") is None
+        assert cache.get("cc") == {"k": "cc"} and cache.get("dd") == {"k": "dd"}
+
     def test_invalidate_removes_both_twins(self, tmp_path):
         import gzip
         import json
