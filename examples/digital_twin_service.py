@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Digital-twin service smoke: boot the HTTP API, prove the cache plane.
+
+Boots a :class:`repro.server.DigitalTwinServer` in-process on an
+ephemeral port (stdlib only — the server is asyncio, the client is
+``urllib``), then walks the headline flow end to end:
+
+1. POST a tiny heat-diffusion RunSpec -> the simulator runs (a miss);
+2. POST the identical spec again -> served from the content-addressed
+   cache without a second simulation (``cached: true``);
+3. scrape ``/metrics`` and check the hit counter moved;
+4. ask ``/v1/whatif`` what doubling DRAM would do and print the delta.
+
+CI runs this as its server smoke test:  python examples/digital_twin_service.py
+"""
+
+import asyncio
+import json
+import tempfile
+import threading
+import urllib.request
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.spec import RunSpec
+from repro.memory.presets import nvm_bandwidth_scaled
+from repro.server import DigitalTwinServer, ServerConfig
+from repro.util.units import MIB
+
+
+def tiny_spec() -> RunSpec:
+    """A seconds-scale heat run; small enough for CI, big enough to move
+    every metric."""
+    return RunSpec(
+        workload="heat",
+        policy="tahoe",
+        nvm=nvm_bandwidth_scaled(0.5),
+        dram_capacity=8 * MIB,
+        n_workers=4,
+        workload_overrides={"grid": 4, "iterations": 2},
+    )
+
+
+def request(method: str, url: str, doc=None):
+    data = None if doc is None else json.dumps(doc).encode("utf-8")
+    req = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    with urllib.request.urlopen(req, timeout=60) as resp:
+        body = resp.read().decode("utf-8")
+        if resp.headers.get_content_type() == "application/json":
+            return resp.status, json.loads(body)
+        return resp.status, body
+
+
+def metric_value(prom_text: str, name: str) -> float:
+    for line in prom_text.splitlines():
+        if line.startswith(name + " ") or line.startswith(name + "{"):
+            return float(line.rsplit(" ", 1)[-1])
+    raise AssertionError(f"metric {name} not exposed:\n{prom_text}")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-twin-") as tmp:
+        server = DigitalTwinServer(
+            ServerConfig(port=0, workers=1, cache=ResultCache(tmp))
+        )
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def boot() -> None:
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(server.start())
+            started.set()
+            loop.run_forever()
+
+        thread = threading.Thread(target=boot, name="twin-server", daemon=True)
+        thread.start()
+        assert started.wait(10), "server did not come up"
+        base = server.url
+        print(f"server up at {base}")
+
+        try:
+            doc = tiny_spec().to_dict()
+
+            status, first = request("POST", f"{base}/v1/runs", {"spec": doc})
+            assert status == 200 and first["status"] == "done", first
+            assert first["cached"] is False, "first submission must simulate"
+            print(
+                f"run 1 (simulated): key {first['key'][:16]}… "
+                f"makespan {first['result']['makespan'] * 1e3:.3f} ms"
+            )
+
+            status, second = request("POST", f"{base}/v1/runs", {"spec": doc})
+            assert status == 200 and second["cached"] is True, second
+            assert second["result"]["makespan"] == first["result"]["makespan"]
+            print("run 2 (cache hit): identical digest, no second simulation")
+
+            status, prom = request("GET", f"{base}/metrics")
+            assert status == 200
+            hits = metric_value(prom, "repro_server_cache_hits_total")
+            assert hits >= 1, f"expected >=1 cache hit, metrics say {hits}"
+            depth = metric_value(prom, "repro_server_queue_depth")
+            ratio = metric_value(prom, "repro_server_cache_hit_ratio")
+            print(f"/metrics: hits={hits:.0f} hit_ratio={ratio:.2f} queue_depth={depth:.0f}")
+
+            status, whatif = request(
+                "POST",
+                f"{base}/v1/whatif",
+                {
+                    "base": first["key"],
+                    "overrides": {"memory.dram_bytes": doc["dram_capacity"] * 2},
+                },
+            )
+            assert status == 200, whatif
+            assert whatif["spec_diff"] == {
+                "dram_capacity": [doc["dram_capacity"], doc["dram_capacity"] * 2]
+            }, whatif["spec_diff"]
+            print("whatif (2x DRAM) delta table:")
+            for name, row in whatif["delta"].items():
+                print(
+                    f"  {name:<22} {row['base']:>12.6g} -> {row['variant']:>12.6g} "
+                    f"(delta {row['delta']:+.6g})"
+                )
+        finally:
+            asyncio.run_coroutine_threadsafe(server.close(), loop).result(10)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(10)
+
+    print("digital-twin service smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

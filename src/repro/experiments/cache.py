@@ -12,10 +12,13 @@ formats:
   proportionally less cache I/O time.
 
 Readers understand both formats regardless of the write preference, and a
-corrupt or truncated binary entry degrades to a miss, never an error.
-Because the key already mixes in the code/model version salt, a model
-change simply makes old entries unreachable — no explicit migration
-needed.
+corrupt or truncated entry degrades to a miss, never an error: the torn
+file is *quarantined* — renamed to ``<entry>.bad`` — so it stops
+shadowing the key and a fresh result can be re-cached under it (a
+long-lived server must survive a torn write indefinitely, not re-read it
+forever).  Because the key already mixes in the code/model version salt,
+a model change simply makes old entries unreachable — no explicit
+migration needed.
 
 Writes go through a temp file + ``os.replace`` so concurrent sweeps
 (including ``run_many`` worker fan-out) never observe torn entries; a
@@ -71,6 +74,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     def _entry(self, key: str) -> Path:
@@ -94,18 +98,42 @@ class ResultCache:
         except (OSError, EOFError, ValueError):
             return None
 
-    def get(self, key: str) -> dict[str, Any] | None:
-        """The stored payload for ``key``, or ``None`` on a miss (missing
-        or unreadable entries of either format both count as misses)."""
+    def _quarantine(self, entry: Path) -> None:
+        """Move a corrupt/truncated entry aside as ``<entry>.bad`` so it
+        stops shadowing its key (best-effort; losing the race to a
+        concurrent writer or pruner is fine)."""
         try:
-            payload = self._decode_binary(self._binary_entry(key).read_bytes())
+            os.replace(entry, entry.with_name(entry.name + ".bad"))
+            self.quarantined += 1
         except OSError:
-            payload = None
+            pass
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stored payload for ``key``, or ``None`` on a miss.
+
+        Missing entries miss; present-but-unreadable entries of either
+        format (truncated RPZ1 blob, torn JSON write) are quarantined to
+        ``.bad`` and miss — a long-lived server never raises here and
+        never re-reads the same corpse."""
+        binary_entry = self._binary_entry(key)
+        try:
+            blob = binary_entry.read_bytes()
+        except OSError:
+            blob = None
+        payload = self._decode_binary(blob) if blob is not None else None
+        if blob is not None and payload is None:
+            self._quarantine(binary_entry)
         if payload is None:
+            entry = self._entry(key)
             try:
-                with self._entry(key).open("r", encoding="utf-8") as fh:
-                    payload = json.load(fh)
-            except (OSError, ValueError):
+                text = entry.read_text(encoding="utf-8")
+            except OSError:
+                self.misses += 1
+                return None
+            try:
+                payload = json.loads(text)
+            except ValueError:
+                self._quarantine(entry)
                 self.misses += 1
                 return None
         self.hits += 1
@@ -207,6 +235,7 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "puts": self.puts,
+            "quarantined": self.quarantined,
             "entries": self.entries(),
             "binary_entries": n_binary,
             "size_bytes": self.size_bytes(),

@@ -11,11 +11,14 @@ codes (0 ok, 1 a run or gate failed, 2 usage / unknown name)::
     repro-experiments trace heat --policy tahoe --nvm bw-1/8 --gantt
     repro-experiments metrics cg --policy tahoe --format prom
     repro-experiments serve heat --policy tahoe --stream '{"horizon_s":0.4}'
+    repro-experiments serve-api --port 8077 --workers 2
     repro-experiments bench --out BENCH_PR5.json
 
 ``serve`` runs one described workload as an open multi-tenant service
 (seeded arrivals, credit-based admission, batch scheduling rounds — see
-``docs/service.md``).  ``metrics`` executes one described run under telemetry and exports the
+``docs/service.md``).  ``serve-api`` boots the long-lived digital-twin
+HTTP API over the cached simulator (``docs/server.md``).  ``metrics``
+executes one described run under telemetry and exports the
 metric series, time-series samples and placement audit log (JSON / CSV /
 Prometheus text).  ``bench`` runs the tier-1 benchmark suite under
 self-instrumentation and writes a wall-clock profile (see
@@ -516,6 +519,63 @@ def _serve_main(argv: list[str]) -> int:
 
 
 # ----------------------------------------------------------------------
+# serve-api
+# ----------------------------------------------------------------------
+def _serve_api_main(argv: list[str]) -> int:
+    """The ``serve-api`` verb: the long-lived digital-twin HTTP service."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments serve-api",
+        description="Run the digital-twin HTTP API: POST RunSpec documents to "
+        "/v1/runs (deduplicated against the result cache), stream progress "
+        "from /v1/runs/{key}/events, ask what-if questions via /v1/whatif, "
+        "scrape /metrics (see docs/server.md).",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8077,
+        help="TCP port; 0 binds an ephemeral port and prints it (default: 8077)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent simulations (default: 2)",
+    )
+    parser.add_argument(
+        "--procs", action="store_true",
+        help="execute jobs on a process pool instead of threads",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="result-cache directory (overrides $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without the on-disk result cache (dedup table still applies)",
+    )
+    args = parser.parse_args(argv)
+    if args.cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+
+    import asyncio
+
+    from repro.server import ServerConfig, serve
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache=False if args.no_cache else None,
+        use_processes=args.procs,
+    )
+    try:
+        asyncio.run(serve(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+# ----------------------------------------------------------------------
 # bench
 # ----------------------------------------------------------------------
 def _bench_main(argv: list[str]) -> int:
@@ -639,6 +699,7 @@ _VERBS = {
     "trace": _trace_main,
     "metrics": _metrics_main,
     "serve": _serve_main,
+    "serve-api": _serve_api_main,
     "bench": _bench_main,
 }
 

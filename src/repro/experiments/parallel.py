@@ -26,6 +26,7 @@ from repro.experiments.spec import RunResult, RunSpec
 __all__ = [
     "run_many",
     "run_spec",
+    "execute_capturing",
     "get_default_workers",
     "set_default_workers",
 ]
@@ -55,14 +56,23 @@ def get_default_workers() -> int:
     return 1
 
 
-def _execute_capturing(spec: RunSpec) -> RunResult:
-    """Worker entry point: never raises, returns a failure record instead."""
+def execute_capturing(spec: RunSpec) -> RunResult:
+    """Worker entry point: never raises, returns a failure record instead.
+
+    Public because every pool that executes specs — ``run_many``'s
+    process fan-out and the digital-twin server's bounded worker pool —
+    needs exactly this containment contract.
+    """
     try:
         return run_and_summarize(spec)
     except BaseException as exc:  # noqa: BLE001 - containment is the contract
         if isinstance(exc, KeyboardInterrupt):
             raise
         return RunResult.failure(spec, exc)
+
+
+#: Backward-compatible private alias (pre-server name).
+_execute_capturing = execute_capturing
 
 
 def run_spec(
@@ -130,12 +140,12 @@ def run_many(
 
     if pending and n_workers <= 1:
         for key in pending:
-            result = _execute_capturing(key_spec[key])
+            result = execute_capturing(key_spec[key])
             _store(store, key, result)
             _finish(by_key[key], result)
     elif pending:
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = {pool.submit(_execute_capturing, key_spec[key]): key for key in pending}
+            futures = {pool.submit(execute_capturing, key_spec[key]): key for key in pending}
             remaining = set(futures)
             while remaining:
                 finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)

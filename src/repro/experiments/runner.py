@@ -54,6 +54,10 @@ __all__ = [
     "make_policy",
     "make_scheduler",
     "workload_params",
+    "dispatch_spec",
+    "DispatchOutcome",
+    "ClosedRunOutcome",
+    "StreamRunOutcome",
     "execute_spec",
     "run_and_summarize",
     "run_workload",
@@ -194,25 +198,93 @@ def _build_machine(spec: RunSpec, total_bytes: int) -> tuple[MemoryDevice, Execu
     return dram_dev, cfg
 
 
+# ----------------------------------------------------------------------
+# Dispatch: the single routing entry point over both execution engines
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClosedRunOutcome:
+    """Outcome of dispatching a closed-DAG spec: the executed trace, the
+    DRAM device the machine was built with, and (lazily) the cacheable
+    :class:`RunResult` digest."""
+
+    spec: RunSpec
+    trace: "ExecutionTrace"
+    dram: MemoryDevice
+
+    kind = "closed"
+
+    @property
+    def result(self) -> RunResult:
+        """The run digest, computed once on first access (trace-only
+        consumers never pay for energy accounting)."""
+        cached = self.__dict__.get("_result")
+        if cached is None:
+            cached = RunResult.from_trace(self.spec, self.trace, self.dram, self.spec.nvm)
+            object.__setattr__(self, "_result", cached)
+        return cached
+
+
+@dataclass(frozen=True)
+class StreamRunOutcome:
+    """Outcome of dispatching a stream-mode spec: the open-system service
+    digest (there is no single trace — see ``docs/service.md``)."""
+
+    spec: RunSpec
+    result: RunResult
+
+    kind = "stream"
+
+
+DispatchOutcome = ClosedRunOutcome | StreamRunOutcome
+
+
+def dispatch_spec(spec: RunSpec, telemetry: Any = None) -> DispatchOutcome:
+    """Route any :class:`RunSpec` to the engine that executes it.
+
+    This is the one documented entry point over both execution modes: a
+    closed-DAG spec runs one graph through the executor and returns a
+    :class:`ClosedRunOutcome` (trace + lazy result digest); a spec
+    carrying a ``stream`` config runs the open-system service and returns
+    a :class:`StreamRunOutcome` (result digest only).  Match on
+    ``outcome.kind`` (``"closed"`` / ``"stream"``) or on the class.
+    ``telemetry`` may be a live :class:`~repro.metrics.Telemetry` for
+    closed-DAG runs; stream mode manages its own instrumentation and
+    rejects an external handle.
+    """
+    if spec.stream is not None:
+        if telemetry is not None:
+            raise ValueError(
+                "stream-mode runs manage their own telemetry; cannot attach "
+                "an external Telemetry handle"
+            )
+        from repro.experiments.service import run_service
+
+        return StreamRunOutcome(spec=spec, result=run_service(spec))
+    trace, dram_dev = _execute(spec, telemetry)
+    return ClosedRunOutcome(spec=spec, trace=trace, dram=dram_dev)
+
+
 def execute_spec(spec: RunSpec, telemetry: Any = None) -> ExecutionTrace:
     """Build + execute the run a :class:`RunSpec` describes (no cache).
 
-    ``telemetry`` may be a live :class:`~repro.metrics.Telemetry` to
-    instrument the run with (the caller keeps the handle for exporting);
-    when ``None``, one is created automatically iff the spec carries a
-    telemetry config, and its export rides on ``trace.telemetry``.
+    Trace-shaped guard over :func:`dispatch_spec`: stream-mode specs have
+    no single trace, so they are refused here with a pointer at the
+    routing entry points.  ``telemetry`` may be a live
+    :class:`~repro.metrics.Telemetry` to instrument the run with (the
+    caller keeps the handle for exporting); when ``None``, one is created
+    automatically iff the spec carries a telemetry config, and its export
+    rides on ``trace.telemetry``.
     """
-    trace, _ = _execute(spec, telemetry)
-    return trace
-
-
-def _execute(spec: RunSpec, telemetry: Any = None) -> tuple[ExecutionTrace, MemoryDevice]:
     if spec.stream is not None:
         raise ValueError(
             "stream-mode specs describe an open system, not one trace; "
-            "run them through run_and_summarize() / "
+            "run them through dispatch_spec() / run_and_summarize() / "
             "repro.experiments.service.run_service() instead of execute_spec()"
         )
+    return dispatch_spec(spec, telemetry).trace
+
+
+def _execute(spec: RunSpec, telemetry: Any = None) -> tuple[ExecutionTrace, MemoryDevice]:
     params = workload_params(spec.workload, spec.fast)
     params.update(spec.workload_kwargs)
     policy = make_policy(spec.policy, **spec.policy_kwargs)
@@ -254,17 +326,13 @@ def _execute(spec: RunSpec, telemetry: Any = None) -> tuple[ExecutionTrace, Memo
 def run_and_summarize(spec: RunSpec) -> RunResult:
     """Execute a spec and digest it into a cacheable result.
 
-    Closed-DAG specs run one graph through the executor; specs carrying a
-    ``stream`` config run the open-system service instead (the per-job
-    closed-DAG sub-runs still flow through this function, with
-    ``stream=None``).
+    Thin wrapper over :func:`dispatch_spec`: closed-DAG specs run one
+    graph through the executor, specs carrying a ``stream`` config run
+    the open-system service instead (the per-job closed-DAG sub-runs
+    still flow through here, with ``stream=None``), and either way the
+    caller gets the :class:`RunResult` digest.
     """
-    if spec.stream is not None:
-        from repro.experiments.service import run_service
-
-        return run_service(spec)
-    trace, dram_dev = _execute(spec)
-    return RunResult.from_trace(spec, trace, dram_dev, spec.nvm)
+    return dispatch_spec(spec).result
 
 
 def run_workload(spec: RunSpec, *args: Any, **kwargs: Any) -> ExecutionTrace:

@@ -14,15 +14,23 @@ cache entries.
 A :class:`RunResult` is the JSON-serializable digest of one run — the
 trace summary, migration statistics and energy accounting the experiment
 suite consumes — or, for a crashed run, a structured failure record.
+
+The *what-if plane* lives here too: :meth:`RunSpec.diff` produces a
+canonical dotted-field-path diff between two specs, and
+:meth:`RunSpec.with_overrides` builds a new frozen spec from dotted-path
+overrides (``spec.with_overrides(**{"nvm.read_bandwidth": bw})``).
+Both operate on the serialized :meth:`RunSpec.to_dict` form, so they add
+no new fields and existing cache keys stay byte-identical.
 """
 
 from __future__ import annotations
 
+import difflib
 import hashlib
 import json
 import traceback as traceback_mod
 from dataclasses import dataclass, field, fields
-from typing import TYPE_CHECKING, Any, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.faults.plan import resolve_plan
 from repro.memory.device import DeviceKind, MemoryDevice
@@ -33,10 +41,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "MODEL_VERSION",
+    "SPEC_PATH_ALIASES",
     "RunSpec",
     "RunResult",
     "canonical_json",
     "device_fingerprint",
+    "flatten_spec_dict",
     "version_salt",
 ]
 
@@ -118,6 +128,69 @@ def device_from_fingerprint(fp: Mapping[str, Any]) -> MemoryDevice:
         read_bandwidth=fp["read_bandwidth"],
         write_bandwidth=fp["write_bandwidth"],
     )
+
+
+# ----------------------------------------------------------------------
+# Dotted spec paths (the what-if plane's vocabulary)
+# ----------------------------------------------------------------------
+#: Friendly aliases accepted wherever a dotted spec path is: keys map a
+#: path (or path prefix) onto its canonical ``to_dict()`` spelling, so
+#: "double the DRAM" reads naturally in what-if requests.
+SPEC_PATH_ALIASES: dict[str, str] = {
+    "memory.dram_bytes": "dram_capacity",
+    "memory.dram_capacity": "dram_capacity",
+    "memory.nvm": "nvm",
+}
+
+
+def flatten_spec_dict(data: Mapping[str, Any], prefix: str = "") -> dict[str, Any]:
+    """Flatten a nested spec dict into ``{dotted_path: leaf_value}``.
+
+    Non-empty mappings recurse; everything else (including empty override
+    mappings) is a leaf.  Sorted, so the path order is canonical.
+    """
+    out: dict[str, Any] = {}
+    for key in sorted(data, key=str):
+        value = data[key]
+        path = f"{prefix}{key}"
+        if isinstance(value, Mapping) and value:
+            out.update(flatten_spec_dict(value, f"{path}."))
+        else:
+            out[path] = value
+    return out
+
+
+def _canonical_path(path: str) -> str:
+    """Resolve alias spellings (exact match or prefix) to canonical paths."""
+    if path in SPEC_PATH_ALIASES:
+        return SPEC_PATH_ALIASES[path]
+    for alias, target in SPEC_PATH_ALIASES.items():
+        if path.startswith(alias + "."):
+            return target + path[len(alias):]
+    return path
+
+
+def _unknown_path(path: str, known: Iterable[str]) -> KeyError:
+    candidates = sorted(set(known))
+    suggestions = difflib.get_close_matches(path, candidates, n=3, cutoff=0.4)
+    hint = f"; did you mean {' or '.join(map(repr, suggestions))}?" if suggestions else ""
+    return KeyError(
+        f"unknown spec path {path!r}{hint} (known top-level paths: {candidates})"
+    )
+
+
+def _diff_nodes(a: Any, b: Any, path: str, out: dict[str, tuple[Any, Any]]) -> None:
+    """Recursive field-path diff: descend while both sides are mappings
+    with identical key sets; otherwise emit the whole differing subtree
+    at the deepest common path (so applying the right-hand values via
+    ``with_overrides`` reproduces the right-hand spec exactly)."""
+    if a == b:
+        return
+    if isinstance(a, Mapping) and isinstance(b, Mapping) and set(a) == set(b):
+        for key in sorted(a, key=str):
+            _diff_nodes(a[key], b[key], f"{path}.{key}", out)
+    else:
+        out[path] = (a, b)
 
 
 # ----------------------------------------------------------------------
@@ -260,6 +333,81 @@ class RunSpec:
             extras.append(self.stream.label())
         tail = f" [{' '.join(extras)}]" if extras else ""
         return f"{self.workload}/{self.policy}@{self.nvm.name}{tail}"
+
+    # -- the what-if plane ----------------------------------------------
+    def diff(self, other: "RunSpec") -> dict[str, tuple[Any, Any]]:
+        """Canonical field-path diff: ``{dotted_path: (mine, theirs)}``.
+
+        Paths address the serialized :meth:`to_dict` form
+        (``dram_capacity``, ``nvm.read_bandwidth``,
+        ``workload_overrides.iterations``, ...).  The diff descends while
+        both sides share structure and emits whole subtrees where they do
+        not — optional planes (``faults``/``telemetry``/``stream``) that
+        one side omits appear as ``(None, <subtree>)`` or the reverse.
+        ``spec.diff(spec) == {}``, and feeding the right-hand values back
+        through :meth:`with_overrides` reproduces ``other`` exactly
+        (byte-identical cache key) — the what-if round-trip the tests pin.
+        """
+        a, b = self.to_dict(), other.to_dict()
+        out: dict[str, tuple[Any, Any]] = {}
+        for key in sorted(set(a) | set(b)):
+            _diff_nodes(a.get(key), b.get(key), key, out)
+        return out
+
+    def with_overrides(self, **overrides: Any) -> "RunSpec":
+        """A new frozen spec with dotted-path overrides applied.
+
+        Keys are dotted paths into the :meth:`to_dict` form — pass them
+        through ``**{"nvm.read_bandwidth": bw}`` unpacking since dots are
+        not identifier characters.  Friendly aliases in
+        :data:`SPEC_PATH_ALIASES` (e.g. ``memory.dram_bytes``) are
+        accepted.  Unknown paths raise ``KeyError`` with a did-you-mean
+        suggestion; the source spec is never mutated.  Values may be
+        whole subtrees (e.g. a full ``faults`` plan dict, or ``None`` to
+        drop an optional plane) as well as scalar leaves; an ``nvm``
+        value may be a :class:`MemoryDevice`.
+        """
+        data = self.to_dict()
+        spec_fields = {f.name for f in fields(RunSpec)}
+        scalar_fields = spec_fields - {
+            "nvm", "workload_overrides", "policy_overrides", "exec_overrides",
+            "faults", "telemetry", "stream",
+        }
+        nvm_keys = set(device_fingerprint(self.nvm))
+        for raw_path, value in overrides.items():
+            path = _canonical_path(raw_path)
+            parts = path.split(".")
+            head = parts[0]
+            if head not in spec_fields:
+                raise _unknown_path(
+                    raw_path, spec_fields | set(SPEC_PATH_ALIASES)
+                )
+            if head in scalar_fields and len(parts) > 1:
+                raise KeyError(
+                    f"spec path {raw_path!r} descends into scalar field "
+                    f"{head!r}; override it directly"
+                )
+            if head == "nvm":
+                if len(parts) > 2 or (len(parts) == 2 and parts[1] not in nvm_keys):
+                    raise _unknown_path(
+                        raw_path, {f"nvm.{k}" for k in nvm_keys} | {"nvm"}
+                    )
+                if len(parts) == 1 and isinstance(value, MemoryDevice):
+                    value = device_fingerprint(value)
+            node: dict[str, Any] = data
+            for part in parts[:-1]:
+                child = node.get(part)
+                # Copy-on-write down the spine; a missing/scalar interior
+                # node becomes a fresh subtree (how a fault-free spec
+                # gains e.g. ``faults.seed``).
+                node[part] = dict(child) if isinstance(child, Mapping) else {}
+                node = node[part]
+            leaf = parts[-1]
+            if value is None and leaf in ("faults", "telemetry", "stream") and len(parts) == 1:
+                node.pop(leaf, None)
+            else:
+                node[leaf] = _thaw(value) if isinstance(value, tuple) else value
+        return RunSpec.from_dict(data)
 
 
 # ----------------------------------------------------------------------

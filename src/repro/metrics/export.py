@@ -10,9 +10,20 @@
   counters keep their names, histograms expand into
   ``_bucket``/``_sum``/``_count`` as the format requires.
 
-All three accept either a :class:`~repro.metrics.telemetry.Telemetry`
-or the plain export dict it produces, so cached results (which only
-carry the dict) export identically to fresh runs.
+All three share one call convention::
+
+    to_json(data, *, stream=None, path=None) -> str
+    to_csv(data, *, stream=None, path=None) -> str
+    to_prometheus(data, *, stream=None, path=None) -> str
+
+``data`` is a live :class:`~repro.metrics.telemetry.Telemetry`, a bare
+:class:`~repro.metrics.registry.MetricsRegistry`, or the plain export /
+snapshot mapping either produces — so cached results (which only carry
+the dict) export identically to fresh runs, in every format.  The text
+is always returned; ``stream`` (a writable text file object) or ``path``
+(mutually exclusive) additionally deliver it somewhere.  The historical
+positional-``indent`` form of ``to_json`` survives one release as a
+deprecated shim.
 """
 
 from __future__ import annotations
@@ -22,10 +33,12 @@ import hashlib
 import io
 import json
 import re
-from typing import Any, Mapping
+from pathlib import Path
+from typing import IO, Any, Mapping
 
 from repro.metrics.registry import Histogram, MetricsRegistry
 from repro.metrics.telemetry import Telemetry
+from repro.util.deprecation import warn_deprecated
 
 __all__ = [
     "to_json",
@@ -43,25 +56,53 @@ PROM_PREFIX = "repro_"
 _NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
 
 
-def _as_export(data: Telemetry | Mapping[str, Any]) -> dict[str, Any]:
+def _as_export(data: Telemetry | MetricsRegistry | Mapping[str, Any]) -> dict[str, Any]:
     if isinstance(data, Telemetry):
         return data.export()
+    if isinstance(data, MetricsRegistry):
+        return {"metrics": data.snapshot()}
     return dict(data)
+
+
+def _deliver(text: str, stream: IO[str] | None, path: Any) -> str:
+    """The shared ``stream | path`` delivery tail of every exporter."""
+    if stream is not None and path is not None:
+        raise ValueError("pass stream= or path=, not both")
+    if stream is not None:
+        stream.write(text)
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
 
 
 # ----------------------------------------------------------------------
 # Canonical JSON
 # ----------------------------------------------------------------------
-def to_json(data: Telemetry | Mapping[str, Any], indent: int | None = None) -> str:
+def to_json(
+    data: Telemetry | MetricsRegistry | Mapping[str, Any],
+    *legacy_indent: int | None,
+    indent: int | None = None,
+    stream: IO[str] | None = None,
+    path: Any = None,
+) -> str:
     """Canonical JSON: sorted keys, fixed separators, no NaN/Infinity."""
+    if legacy_indent:
+        if len(legacy_indent) > 1 or indent is not None:
+            raise TypeError("to_json() takes one indent value")
+        warn_deprecated(
+            "to_json(data, N) positional indent is deprecated; pass "
+            "to_json(data, indent=N) (keyword-only next release)"
+        )
+        indent = legacy_indent[0]
     export = _as_export(data)
     separators = (",", ":") if indent is None else (",", ": ")
-    return json.dumps(
+    text = json.dumps(
         export, sort_keys=True, separators=separators, indent=indent, allow_nan=False
     )
+    return _deliver(text, stream, path)
 
 
-def json_digest(data: Telemetry | Mapping[str, Any]) -> str:
+def json_digest(data: Telemetry | MetricsRegistry | Mapping[str, Any]) -> str:
     """SHA-256 of the canonical JSON — the regression tests' byte identity."""
     return hashlib.sha256(to_json(data).encode("utf-8")).hexdigest()
 
@@ -130,7 +171,12 @@ def parse_labels_str(text: str) -> dict[str, str]:
     return out
 
 
-def to_csv(data: Telemetry | Mapping[str, Any]) -> str:
+def to_csv(
+    data: Telemetry | MetricsRegistry | Mapping[str, Any],
+    *,
+    stream: IO[str] | None = None,
+    path: Any = None,
+) -> str:
     """Long-form CSV: one row per metric sample / sampler point / audit entry."""
     export = _as_export(data)
     buf = io.StringIO()
@@ -162,7 +208,7 @@ def to_csv(data: Telemetry | Mapping[str, Any]) -> str:
                 e["size_bytes"],
             ]
         )
-    return buf.getvalue()
+    return _deliver(buf.getvalue(), stream, path)
 
 
 # ----------------------------------------------------------------------
@@ -207,13 +253,7 @@ def _prom_float(v: float) -> str:
     return repr(float(v))
 
 
-def to_prometheus(data: Telemetry | MetricsRegistry) -> str:
-    """Final registry state in the Prometheus text exposition format.
-
-    Time series and the audit log have no place in a point-in-time
-    scrape; they live in the JSON/CSV exports.
-    """
-    registry = data.registry if isinstance(data, Telemetry) else data
+def _prom_lines_registry(registry: MetricsRegistry) -> list[str]:
     by_name: dict[str, list] = {}
     for inst in registry.series():
         by_name.setdefault(inst.name, []).append(inst)
@@ -242,7 +282,78 @@ def to_prometheus(data: Telemetry | MetricsRegistry) -> str:
                 lines.append(
                     f"{pname}{_prom_labels(labels)} {_prom_float(inst.value)}"
                 )
-    return "\n".join(lines) + ("\n" if lines else "")
+    return lines
+
+
+def _prom_le(le: Any) -> str:
+    return "+Inf" if le == "+Inf" else _prom_float(float(le))
+
+
+def _prom_lines_snapshot(series: list[Mapping[str, Any]]) -> list[str]:
+    """Exposition lines from a registry *snapshot* (the JSON export's
+    ``metrics.series`` list).  HELP text is not part of a snapshot, so
+    these renders carry TYPE lines only — everything else, including the
+    cumulative bucket semantics, is preserved."""
+    by_name: dict[str, list[Mapping[str, Any]]] = {}
+    for entry in series:
+        by_name.setdefault(entry["name"], []).append(entry)
+
+    lines: list[str] = []
+    for name in sorted(by_name):
+        entries = by_name[name]
+        pname = _prom_name(name)
+        lines.append(f"# TYPE {pname} {entries[0]['kind']}")
+        for entry in entries:
+            labels = entry.get("labels", {})
+            if entry["kind"] == "histogram":
+                for b in entry.get("buckets", []):
+                    lines.append(
+                        f"{pname}_bucket"
+                        f"{_prom_labels(labels, {'le': _prom_le(b['le'])})}"
+                        f" {b['count']}"
+                    )
+                lines.append(
+                    f"{pname}_sum{_prom_labels(labels)} {_prom_float(entry['sum'])}"
+                )
+                lines.append(f"{pname}_count{_prom_labels(labels)} {entry['count']}")
+            else:
+                lines.append(
+                    f"{pname}{_prom_labels(labels)} {_prom_float(entry['value'])}"
+                )
+    return lines
+
+
+def to_prometheus(
+    data: Telemetry | MetricsRegistry | Mapping[str, Any],
+    *,
+    stream: IO[str] | None = None,
+    path: Any = None,
+) -> str:
+    """Final registry state in the Prometheus text exposition format.
+
+    Accepts a live ``Telemetry``/``MetricsRegistry`` (full output,
+    including HELP lines) or a plain export/snapshot mapping — either the
+    full telemetry export (``{"metrics": {"series": [...]}}``) or a bare
+    registry snapshot (``{"series": [...]}``) — so cached results render
+    too (sans HELP, which snapshots don't carry).  Time series and the
+    audit log have no place in a point-in-time scrape; they live in the
+    JSON/CSV exports.
+    """
+    if isinstance(data, Telemetry):
+        lines = _prom_lines_registry(data.registry)
+    elif isinstance(data, MetricsRegistry):
+        lines = _prom_lines_registry(data)
+    else:
+        body = data.get("metrics", data)
+        series = body.get("series") if isinstance(body, Mapping) else None
+        if series is None:
+            raise ValueError(
+                "mapping passed to to_prometheus() carries no metric series "
+                "(expected a telemetry export or a registry snapshot)"
+            )
+        lines = _prom_lines_snapshot(list(series))
+    text = "\n".join(lines) + ("\n" if lines else "")
+    return _deliver(text, stream, path)
 
 
 # ----------------------------------------------------------------------
@@ -251,17 +362,18 @@ def to_prometheus(data: Telemetry | MetricsRegistry) -> str:
 EXPORT_FORMATS = ("json", "csv", "prom")
 
 
-def export_as(data: Telemetry | Mapping[str, Any], fmt: str) -> str:
+def export_as(
+    data: Telemetry | MetricsRegistry | Mapping[str, Any],
+    fmt: str,
+    *,
+    stream: IO[str] | None = None,
+    path: Any = None,
+) -> str:
     """Render telemetry in the named format (CLI ``--format`` values)."""
     if fmt == "json":
-        return to_json(data, indent=2)
+        return to_json(data, indent=2, stream=stream, path=path)
     if fmt == "csv":
-        return to_csv(data)
+        return to_csv(data, stream=stream, path=path)
     if fmt in ("prom", "prometheus", "openmetrics"):
-        if isinstance(data, Telemetry):
-            return to_prometheus(data)
-        raise ValueError(
-            "prometheus export needs a live Telemetry (cached exports carry "
-            "no registry); use json or csv"
-        )
+        return to_prometheus(data, stream=stream, path=path)
     raise ValueError(f"unknown export format {fmt!r} (known: {EXPORT_FORMATS})")

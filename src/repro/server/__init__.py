@@ -1,0 +1,29 @@
+"""The digital-twin service layer: a long-lived async HTTP API over the
+cached simulator.
+
+``repro serve-api`` (or :func:`repro.server.serve`) boots a stdlib-only
+asyncio HTTP server that accepts :class:`~repro.experiments.spec.RunSpec`
+documents, deduplicates them against the content-addressed result cache,
+executes misses on a bounded worker pool, streams per-job progress, and
+answers what-if queries through the :meth:`RunSpec.with_overrides` /
+:meth:`RunSpec.diff` plane.  See ``docs/server.md`` for the endpoint
+reference.
+"""
+
+from repro.server.app import DigitalTwinServer, ServerConfig, serve
+from repro.server.http import AsyncHttpServer, EventStream, HttpError, Request, Response
+from repro.server.jobs import Job, JobManager, result_payload
+
+__all__ = [
+    "DigitalTwinServer",
+    "ServerConfig",
+    "serve",
+    "AsyncHttpServer",
+    "EventStream",
+    "HttpError",
+    "Request",
+    "Response",
+    "Job",
+    "JobManager",
+    "result_payload",
+]

@@ -67,6 +67,32 @@ class TestExecutorConstructor:
             Executor(hms, n_workers=4, overlap_factor=0.5)
 
 
+class TestExporterPositionalIndent:
+    """The exporter unification made ``to_json``'s indent keyword-only;
+    the positional spelling warns for one release."""
+
+    def test_positional_indent_warns_but_works(self):
+        import json
+
+        from repro.metrics.export import to_json
+        from repro.metrics.registry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        with pytest.warns(ReproDeprecationWarning, match="indent"):
+            legacy = to_json(reg, 2)
+        assert legacy == to_json(reg, indent=2)
+        assert json.loads(legacy)["metrics"]["series"]
+
+    def test_positional_and_keyword_indent_conflict(self):
+        from repro.metrics.export import to_json
+        from repro.metrics.registry import MetricsRegistry
+
+        # The conflict is rejected before the shim ever warns.
+        with pytest.raises(TypeError, match="indent"):
+            to_json(MetricsRegistry(), 2, indent=4)
+
+
 class TestSchedulerRegistry:
     def test_unknown_name_suggests_close_match(self):
         with pytest.raises(KeyError, match="critical-path"):

@@ -121,6 +121,107 @@ class TestFrozenExecutionAPI:
         }
 
 
+class TestExporterConvention:
+    """The metrics exporters share one signature: ``fn(data, *,
+    stream=None, path=None) -> str``.  Pinned so the surface can only
+    grow deliberately."""
+
+    def test_exporters_share_the_signature(self):
+        import inspect
+
+        from repro.metrics.export import to_csv, to_json, to_prometheus
+
+        for fn in (to_csv, to_prometheus):
+            params = inspect.signature(fn).parameters
+            assert list(params) == ["data", "stream", "path"], fn.__name__
+            assert params["stream"].kind is inspect.Parameter.KEYWORD_ONLY
+            assert params["path"].kind is inspect.Parameter.KEYWORD_ONLY
+        # to_json additionally keeps its indent knob (and, for one
+        # release, the deprecated positional spelling of it).
+        params = inspect.signature(to_json).parameters
+        assert list(params) == ["data", "legacy_indent", "indent", "stream", "path"]
+        assert params["stream"].kind is inspect.Parameter.KEYWORD_ONLY
+
+    def test_stream_and_path_are_exclusive(self):
+        import io
+
+        from repro.metrics.export import to_json
+        from repro.metrics.registry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        buf = io.StringIO()
+        text = to_json(reg, stream=buf)
+        assert buf.getvalue() == text
+        with pytest.raises(ValueError, match="not both"):
+            to_json(reg, stream=buf, path="nope.json")
+
+    def test_prometheus_accepts_registry_and_snapshot(self):
+        from repro.metrics.export import to_prometheus
+        from repro.metrics.registry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("x", help="a counter").inc(3)
+        live = to_prometheus(reg)
+        assert "repro_x 3" in live
+        cold = to_prometheus({"metrics": reg.snapshot()})
+        assert "repro_x 3" in cold
+
+
+class TestDispatchAndServerSurface:
+    """The routing entry point and the service layer are public API."""
+
+    def test_dispatch_outcome_union(self):
+        from repro.experiments.runner import (
+            ClosedRunOutcome,
+            DispatchOutcome,
+            StreamRunOutcome,
+            dispatch_spec,
+        )
+
+        assert callable(dispatch_spec)
+        assert ClosedRunOutcome.kind == "closed"
+        assert StreamRunOutcome.kind == "stream"
+        import typing
+
+        assert set(typing.get_args(DispatchOutcome)) == {
+            ClosedRunOutcome,
+            StreamRunOutcome,
+        }
+
+    def test_server_package_surface(self):
+        import repro.server as server
+
+        assert server.__all__ == [
+            "DigitalTwinServer",
+            "ServerConfig",
+            "serve",
+            "AsyncHttpServer",
+            "EventStream",
+            "HttpError",
+            "Request",
+            "Response",
+            "Job",
+            "JobManager",
+            "result_payload",
+        ]
+        for name in server.__all__:
+            assert hasattr(server, name)
+
+    def test_server_config_defaults(self):
+        from repro.server import ServerConfig
+
+        cfg = ServerConfig()
+        assert cfg.host == "127.0.0.1"
+        assert cfg.workers == 2
+        assert cfg.use_processes is False
+
+    def test_execute_capturing_is_public(self):
+        from repro.experiments.parallel import execute_capturing
+
+        assert callable(execute_capturing)
+
+
 class TestReadmeQuickstart:
     def test_quickstart_snippet_runs(self):
         from repro import (

@@ -287,6 +287,37 @@ class TestMixedFormatCache:
         assert bz.get("beta") is None
         assert bz.misses == 1
 
+    def test_truncated_binary_is_quarantined_and_recoverable(self, tmp_path):
+        d = tmp_path / "cache"
+        bz = ResultCache(d, binary=True)
+        bz.put("beta", {"makespan": 2.0})
+        blob = (d / "beta.jsonz").read_bytes()
+        (d / "beta.jsonz").write_bytes(blob[: len(blob) // 2])  # torn write
+        # The corpse misses, never raises, and is moved aside ...
+        assert bz.get("beta") is None
+        assert bz.misses == 1
+        assert bz.quarantined == 1
+        assert not (d / "beta.jsonz").exists()
+        assert (d / "beta.jsonz.bad").exists()
+        # ... so it no longer shadows the key: misses stay cheap and a
+        # fresh result re-caches under the same key.
+        assert bz.get("beta") is None
+        assert bz.quarantined == 1  # nothing left to quarantine
+        bz.put("beta", {"makespan": 2.5})
+        assert bz.get("beta") == {"makespan": 2.5}
+        assert bz.stats()["quarantined"] == 1
+
+    def test_torn_json_is_quarantined(self, tmp_path):
+        d = tmp_path / "cache"
+        js = ResultCache(d, binary=False)
+        js.put("alpha", {"makespan": 1.0})
+        (d / "alpha.json").write_text('{"makespan": 1.', encoding="utf-8")
+        assert js.get("alpha") is None
+        assert js.quarantined == 1
+        assert (d / "alpha.json.bad").exists()
+        # Quarantined corpses are invisible to entry accounting.
+        assert js.entries() == 0
+
     def test_prune_over_mixed_set(self, tmp_path):
         import os
 

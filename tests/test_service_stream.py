@@ -150,7 +150,9 @@ class TestStreamDriver:
             if not j.rejected:
                 by_lane.setdefault(j.lane, []).append(j)
         for jobs in by_lane.values():
-            jobs.sort(key=lambda j: j.start_s)
+            # Tie-break equal starts by finish: a zero-duration job may
+            # legitimately share its instant with the next job's start.
+            jobs.sort(key=lambda j: (j.start_s, j.finish_s))
             for a, b in zip(jobs, jobs[1:]):
                 assert b.start_s >= a.finish_s - 1e-12
 
