@@ -9,7 +9,7 @@ the simulator can handle.
 from __future__ import annotations
 
 from repro.baselines import NVMOnlyPolicy
-from repro.core.knapsack import greedy_by_density, solve_knapsack
+from repro.core.knapsack import clear_solver_cache, greedy_by_density, solve_knapsack
 from repro.core.manager import DataManagerPolicy
 from repro.memory.hms import HeterogeneousMemorySystem
 from repro.memory.presets import dram, nvm_bandwidth_scaled
@@ -43,24 +43,46 @@ def test_bench_executor_throughput_nvm_only(benchmark):
 
 
 def test_bench_executor_with_data_manager(benchmark):
-    """Full manager in the loop: profiling + planning + enforcement."""
+    """Full manager in the loop: profiling + planning + enforcement.
+
+    The planner's process-global solver cache (and the plan memos it
+    attaches to the interned graph) would make every rep after the first
+    a warm replay; clearing them in the un-timed setup keeps each rep a
+    cold placement pass — the cost this benchmark exists to bound.
+    """
     w = build("heat", grid=6, iterations=6)
+
+    def reset():
+        clear_solver_cache()
+        for memo in (
+            "_replan_projection_memo", "_replan_plan_memo",
+            "_parallel_slack_memo", "_placement_cols_memo",
+        ):
+            w.graph.__dict__.pop(memo, None)
 
     def run():
         return Executor(_machine(), ExecutorConfig(n_workers=8)).run(
             w.graph, DataManagerPolicy()
         )
 
-    tr = benchmark(run)
+    tr = benchmark.pedantic(run, setup=reset, rounds=5)
     assert len(tr.records) == w.n_tasks
 
 
 def test_bench_knapsack_dp(benchmark):
+    """One cold DP solve per rep: the exact-fingerprint memo and the
+    warm-start states are dropped in the un-timed setup, otherwise every
+    rep after the first measures a dict probe instead of the DP."""
     rng = spawn_rng(1, "bench-knap")
     n = 200
     values = rng.uniform(0.1, 10.0, n).tolist()
     sizes = (rng.integers(1, 64, n) * 2**20).tolist()
-    mask = benchmark(solve_knapsack, values, sizes, 256 * 2**20)
+    mask = benchmark.pedantic(
+        solve_knapsack,
+        args=(values, sizes, 256 * 2**20),
+        setup=clear_solver_cache,
+        rounds=20,
+    )
     assert any(mask)
 
 

@@ -23,7 +23,8 @@ partitioning, >10 % deviation adaptation (re-profiling).
 from repro.core.sensitivity import Sensitivity, classify_bandwidth
 from repro.core.benefit import benefit_bandwidth, benefit_latency, movement_benefit
 from repro.core.cost import migration_cost, eviction_cost
-from repro.core.knapsack import solve_knapsack, greedy_by_density
+from repro.core.demand import DemandBatch
+from repro.core.knapsack import solve_knapsack, solve_knapsack_arrays, greedy_by_density
 from repro.core.models import SlotStats, TypeModel, ObjectStats
 from repro.core.partition import partition_graph
 from repro.core.manager import DataManagerPolicy
@@ -36,7 +37,9 @@ __all__ = [
     "movement_benefit",
     "migration_cost",
     "eviction_cost",
+    "DemandBatch",
     "solve_knapsack",
+    "solve_knapsack_arrays",
     "greedy_by_density",
     "SlotStats",
     "TypeModel",

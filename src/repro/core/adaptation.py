@@ -34,8 +34,10 @@ from math import sqrt
 __all__ = ["DeviationDetector"]
 
 
-@dataclass
+@dataclass(slots=True)
 class _TypeState:
+    # slots: one state is touched per completed task (the policy's
+    # steady-state hot path), and slot loads/stores beat __dict__ there.
     cur_iter: int | None = None
     cur_sum: float = 0.0
     cur_n: int = 0

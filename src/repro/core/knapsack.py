@@ -22,6 +22,12 @@ same or an almost-identical instance, so the DP is incremental:
   are routed to :func:`greedy_bounded`, whose value is provably >= 1/2 of
   the optimum (density greedy vs. best single item, whichever is better).
 
+Both module-level caches are bounded insertion-ordered LRUs: the exact
+memo at :data:`_MEMO_MAX` masks and the warm-start states at
+:data:`_STATES_MAX` capacity geometries (a long-lived ``serve-api``
+process sweeping DRAM sizes would otherwise keep one set of DP
+checkpoints per distinct ``cap_units`` forever).
+
 All cached paths reproduce the from-scratch solve exactly: identical
 floating-point operations in identical order on identical inputs.
 """
@@ -36,10 +42,12 @@ from repro.util.validation import require
 
 __all__ = [
     "solve_knapsack",
+    "solve_knapsack_arrays",
     "greedy_by_density",
     "greedy_bounded",
     "clear_solver_cache",
     "solver_cache_stats",
+    "export_cache_metrics",
     "AUTO_GREEDY_CELLS",
 ]
 
@@ -55,6 +63,9 @@ AUTO_GREEDY_CELLS = 4_000_000
 _CHECKPOINT_EVERY = 16
 
 _MEMO_MAX = 128
+#: Warm-start states retained (one per distinct ``cap_units``); each holds
+#: full DP checkpoints + keep rows, so the bound is deliberately small.
+_STATES_MAX = 8
 
 
 class _SolveState:
@@ -67,13 +78,15 @@ class _SolveState:
         self.v = np.empty(0, dtype=np.float64)
         #: item index k -> copy of the dp row after processing items [0..k)
         self.checkpoints: dict[int, np.ndarray] = {}
-        #: per-item bit-packed keep row (uint8, big-endian bit order)
-        self.keep_rows: list[np.ndarray] = []
+        #: bit-packed keep rows, one matrix row per item (uint8,
+        #: big-endian bit order) — kept 2-D so prefix reuse is a slice
+        #: and the backtrack blob is a single ``tobytes``.
+        self.keep_rows: np.ndarray = np.empty((0, 0), dtype=np.uint8)
 
 
 #: exact instance fingerprint -> keep-mask (insertion-ordered LRU)
 _memo: dict[Any, list[bool]] = {}
-#: cap_units -> previous solve's DP state for warm starts
+#: cap_units -> previous solve's DP state (insertion-ordered LRU)
 _states: dict[int, _SolveState] = {}
 _stats = {
     "exact_hits": 0,
@@ -97,6 +110,22 @@ def solver_cache_stats() -> dict[str, int]:
     return dict(_stats)
 
 
+def export_cache_metrics(registry) -> None:
+    """Refresh the solver-cache counters into a metrics registry.
+
+    Process-global cache warmth is deliberately kept *out* of per-run
+    telemetry exports (they are pinned byte-identical for identical
+    specs); callers that own a long-lived registry — the digital-twin
+    server's ``/metrics`` — refresh these gauges at scrape time instead.
+    """
+    for stat, value in sorted(_stats.items()):
+        registry.gauge(
+            "planner_knapsack_cache",
+            labels={"stat": stat},
+            help="Knapsack solver cache health (process-global counters)",
+        ).set(value)
+
+
 def solve_knapsack(
     values: Sequence[float],
     sizes: Sequence[int],
@@ -106,6 +135,29 @@ def solve_knapsack(
 ) -> list[bool]:
     """Exact (up to discretization) 0/1 knapsack; returns a keep-mask.
 
+    Sequence front-end for :func:`solve_knapsack_arrays` (the planner's
+    batch path feeds that directly; this wrapper only converts).
+    """
+    n = len(values)
+    require(len(sizes) == n, "values and sizes must have equal length")
+    return solve_knapsack_arrays(
+        np.asarray(values, dtype=np.float64),
+        np.asarray(sizes, dtype=np.int64),
+        capacity,
+        granularity,
+        use_cache,
+    )
+
+
+def solve_knapsack_arrays(
+    values: np.ndarray,
+    sizes: np.ndarray,
+    capacity: int,
+    granularity: int = 512,
+    use_cache: bool = True,
+) -> list[bool]:
+    """:func:`solve_knapsack` on ready-made numpy columns.
+
     Items with non-positive value or size exceeding capacity are never
     taken.  ``granularity`` bounds the DP table's capacity axis; sizes are
     rounded *up* so the selection always fits the true capacity.
@@ -114,8 +166,10 @@ def solve_knapsack(
     warm-start state (the from-scratch reference path; the property tests
     compare the two).
     """
-    n = len(values)
-    require(len(sizes) == n, "values and sizes must have equal length")
+    v_all = np.asarray(values, dtype=np.float64)
+    s_all = np.asarray(sizes, dtype=np.int64)
+    n = int(v_all.shape[0])
+    require(int(s_all.shape[0]) == n, "values and sizes must have equal length")
     if n == 0 or capacity <= 0:
         return [False] * n
 
@@ -127,15 +181,13 @@ def solve_knapsack(
     # Candidate filter: positive value and fits at all.  Vectorized — the
     # exact-memo fast path below still needs (idx, w, v) for its
     # fingerprint, so this runs on every call, hit or miss.
-    v_all = np.asarray(values, dtype=np.float64)
-    s_all = np.asarray(sizes, dtype=np.int64)
     idx_arr = np.flatnonzero((v_all > 0) & (s_all > 0) & (s_all <= capacity))
     if idx_arr.size == 0:
         return [False] * n
 
     if idx_arr.size * cap_units > AUTO_GREEDY_CELLS:
         _stats["greedy_routed"] += 1
-        return greedy_bounded(values, sizes, capacity)
+        return greedy_bounded(v_all, s_all, capacity)
 
     idx = idx_arr.tolist()
     w = -(-s_all[idx_arr] // unit)  # ceil; floor-div + negate, as int math
@@ -145,7 +197,7 @@ def solve_knapsack(
         keep_rows = _dp_rows(w, v, cap_units, state=None)
         return _backtrack(keep_rows, idx, w, n, cap_units)
 
-    key = (int(capacity), int(granularity), n, tuple(idx), w.tobytes(), v.tobytes())
+    key = (int(capacity), int(granularity), n, idx_arr.tobytes(), w.tobytes(), v.tobytes())
     cached = _memo.get(key)
     if cached is not None:
         # LRU bump: reinsert at the back of the insertion order.
@@ -156,7 +208,13 @@ def solve_knapsack(
     _stats["solves"] += 1
     state = _states.get(cap_units)
     if state is None:
-        state = _states[cap_units] = _SolveState()
+        state = _SolveState()
+    else:
+        # LRU bump for the geometry, mirroring the memo above.
+        del _states[cap_units]
+    _states[cap_units] = state
+    while len(_states) > _STATES_MAX:
+        _states.pop(next(iter(_states)))
     keep_rows = _dp_rows(w, v, cap_units, state=state)
     mask = _backtrack(keep_rows, idx, w, n, cap_units)
 
@@ -168,8 +226,8 @@ def solve_knapsack(
 
 def _dp_rows(
     w: np.ndarray, v: np.ndarray, cap_units: int, state: _SolveState | None
-) -> list[np.ndarray]:
-    """Run the DP, returning one bit-packed keep row per item.
+) -> np.ndarray:
+    """Run the DP, returning the bit-packed keep rows (one per item).
 
     With ``state``, rows for the longest common (w, v) prefix with the
     previous instance are reused and the DP resumes from the nearest
@@ -178,7 +236,7 @@ def _dp_rows(
     """
     m = len(w)
     start = 0
-    keep_rows: list[np.ndarray] = []
+    prefix_rows: np.ndarray | None = None
     dp = None
     if state is not None and len(state.keep_rows) > 0:
         lim = min(m, len(state.w))
@@ -196,7 +254,7 @@ def _dp_rows(
         if best_ckpt:
             start = best_ckpt
             dp = state.checkpoints[best_ckpt].copy()
-            keep_rows = state.keep_rows[:best_ckpt]
+            prefix_rows = state.keep_rows[:best_ckpt]
             _stats["warm_started_rows"] += best_ckpt
     if dp is None:
         dp = np.zeros(cap_units + 1, dtype=np.float64)
@@ -205,21 +263,38 @@ def _dp_rows(
     if state is not None:
         checkpoints = {k: r for k, r in state.checkpoints.items() if k <= start}
 
-    row_bool = np.zeros(cap_units + 1, dtype=bool)
-    for k in range(start, m):
-        wk, vk = int(w[k]), v[k]
-        if wk > cap_units:
-            keep_rows.append(np.zeros((cap_units + 8) >> 3, dtype=np.uint8))
-        else:
-            cand = dp[:-wk] + vk if wk > 0 else dp + vk
-            better = cand > dp[wk:]
-            row_bool[:wk] = False
-            row_bool[wk:] = better
-            keep_rows.append(np.packbits(row_bool))
-            dp[wk:] = np.where(better, cand, dp[wk:])
-        _stats["computed_rows"] += 1
-        if (k + 1) % _CHECKPOINT_EVERY == 0:
+    # The per-item keep bits accumulate into one bool matrix packed in a
+    # single ``np.packbits`` call after the loop (8 bytes -> 1 bit, one
+    # C pass) instead of one small pack per item; the item loop itself is
+    # down to three ufunc calls writing into preallocated buffers.  Rows
+    # for oversized items stay all-zero without touching the matrix.
+    n_new = m - start
+    row_bits = np.zeros((n_new, cap_units + 1), dtype=bool)
+    cand_buf = np.empty(cap_units + 1, dtype=np.float64)
+    w_l = w.tolist()
+    v_l = v.tolist()  # Python floats are exact float64; avoids np scalars
+    add, greater, copyto = np.add, np.greater, np.copyto
+    next_ckpt = (start // _CHECKPOINT_EVERY + 1) * _CHECKPOINT_EVERY
+    for r in range(n_new):
+        k = start + r
+        wk = w_l[k]
+        if wk <= cap_units:
+            span = cap_units + 1 - wk
+            cand = cand_buf[:span]
+            add(dp[:span], v_l[k], out=cand)
+            tail = dp[wk:]
+            better = row_bits[r, wk:]
+            greater(cand, tail, out=better)
+            copyto(tail, cand, where=better)
+        if k + 1 == next_ckpt:
             checkpoints[k + 1] = dp.copy()
+            next_ckpt += _CHECKPOINT_EVERY
+    packed = np.packbits(row_bits, axis=1)
+    keep_rows = (
+        packed if prefix_rows is None
+        else np.concatenate((prefix_rows, packed))
+    )
+    _stats["computed_rows"] += n_new
 
     if state is not None:
         state.w = w
@@ -230,20 +305,30 @@ def _dp_rows(
 
 
 def _backtrack(
-    keep_rows: list[np.ndarray],
+    keep_rows: np.ndarray,
     idx: list[int],
     w: np.ndarray,
     n: int,
     cap_units: int,
 ) -> list[bool]:
-    """Recover the keep-mask from the bit-packed rows."""
+    """Recover the keep-mask from the bit-packed rows.
+
+    The row matrix is flattened into one contiguous ``bytes`` blob up
+    front (every row has the same packed length), so the sequential bit
+    probe walks pure-Python ints instead of indexing ``m`` small uint8
+    arrays.
+    """
     mask = [False] * n
+    if not idx:
+        return mask
+    row_len = (cap_units + 8) >> 3
+    blob = keep_rows.tobytes()
+    w_l = w.tolist()
     c = cap_units
     for k in range(len(idx) - 1, -1, -1):
-        row = keep_rows[k]
-        if (row[c >> 3] >> (7 - (c & 7))) & 1:
+        if (blob[k * row_len + (c >> 3)] >> (7 - (c & 7))) & 1:
             mask[idx[k]] = True
-            c -= int(w[k])
+            c -= w_l[k]
     return mask
 
 

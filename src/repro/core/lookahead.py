@@ -44,6 +44,22 @@ def estimate_start_offsets(
     return offsets
 
 
+def _traffic_uids(task: Task) -> list[int]:
+    """Uids of the task's objects with nonzero counted traffic.
+
+    A task's access footprint is fixed at graph build, so the filtered
+    uid list is computed once and cached on the task — graphs are
+    interned across runs, so every later lookahead pass skips the
+    per-access ``acc.accesses`` test entirely.
+    """
+    uids = task.__dict__.get("_traffic_uids")
+    if uids is None:
+        uids = task.__dict__["_traffic_uids"] = [
+            obj.uid for obj, acc in task.accesses.items() if acc.accesses
+        ]
+    return uids
+
+
 def first_use_offsets(
     tasks: Sequence[Task],
     duration_of: Callable[[Task], float],
@@ -53,9 +69,9 @@ def first_use_offsets(
     offsets = estimate_start_offsets(tasks, duration_of, n_workers)
     first: dict[int, float] = {}
     for t, off in zip(tasks, offsets):
-        for obj, acc in t.accesses.items():
-            if acc.accesses and obj.uid not in first:
-                first[obj.uid] = off
+        for uid in _traffic_uids(t):
+            if uid not in first:
+                first[uid] = off
     return first
 
 
@@ -64,6 +80,7 @@ def first_use_offsets_split(
     window_len: int,
     duration_of: Callable[[Task], float],
     n_workers: int,
+    duration_by_type: dict[str, float] | None = None,
 ) -> tuple[dict[int, float], dict[int, float]]:
     """(window, full-horizon) first-use offsets from a single pass.
 
@@ -71,15 +88,29 @@ def first_use_offsets_split(
     first ``window_len`` tasks equal those of a standalone pass over the
     window — the two dicts are bitwise what two :func:`first_use_offsets`
     calls would produce, at half the model lookups.
+
+    The start-offset prefix sum is fused into the first-use walk (one
+    pass, no intermediate offsets list); the additions run in the same
+    task order as :func:`estimate_start_offsets`, so the offsets are
+    bitwise unchanged.  When ``duration_by_type`` is given, per-task
+    durations come from that dict keyed by ``type_name`` instead of
+    calling ``duration_of`` — callers whose duration model is constant
+    per type within one pass skip a Python call per task.
     """
-    offsets = estimate_start_offsets(tasks, duration_of, n_workers)
     window: dict[int, float] = {}
     full: dict[int, float] = {}
-    for i, (t, off) in enumerate(zip(tasks, offsets)):
-        in_window = i < window_len
-        for obj, acc in t.accesses.items():
-            if acc.accesses and obj.uid not in full:
-                full[obj.uid] = off
-                if in_window:
-                    window[obj.uid] = off
+    acc = 0.0
+    inv = 1.0 / max(1, n_workers)
+    by_type = duration_by_type
+    for i, t in enumerate(tasks):
+        off = acc
+        if by_type is None:
+            acc = off + duration_of(t) * inv
+        else:
+            acc = off + by_type[t.type_name] * inv
+        for uid in _traffic_uids(t):
+            if uid not in full:
+                full[uid] = off
+                if i < window_len:
+                    window[uid] = off
     return window, full

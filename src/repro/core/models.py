@@ -147,7 +147,7 @@ class TypeModel:
             return SlotStats()
         return self.slots[i] if i < len(self.slots) else self.slots[-1]
 
-    def slot_rows(self) -> list[tuple[float, float, float, float, float, float, float]]:
+    def slot_rows(self) -> tuple[tuple[float, float, float, float, float, float, float], ...]:
         """Per-slot ``(loads, stores, misses, bw_demand, confidence,
         mem_seconds, dram_frac)`` tuples — the demand-projection loop's
         read set, flattened once per model version.
@@ -161,7 +161,7 @@ class TypeModel:
         cached = self.__dict__.get("_slot_rows")
         if cached is not None and cached[0] == self.n_profiles:
             return cached[1]
-        rows = [
+        rows = tuple(
             (
                 s.loads,
                 s.stores,
@@ -172,7 +172,7 @@ class TypeModel:
                 s.dram_frac,
             )
             for s in self.slots
-        ]
+        )
         self.__dict__["_slot_rows"] = (self.n_profiles, rows)
         return rows
 

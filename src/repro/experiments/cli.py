@@ -615,6 +615,12 @@ def _bench_main(argv: list[str]) -> int:
         "fails (exit 1) when exceeded, with or without --baseline",
     )
     parser.add_argument(
+        "--phase", action="append", default=[], metavar="PHASE",
+        help="report only the named phase (repeatable) and skip side "
+        "passes the subset does not need — a focused `bench --phase "
+        "placement` run; default: all phases",
+    )
+    parser.add_argument(
         "--profile", action="store_true",
         help="run the suite under cProfile and print the top 25 functions "
         "by cumulative time",
@@ -653,7 +659,9 @@ def _bench_main(argv: list[str]) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
     try:
-        profile = run_bench(reps=args.reps, seed=args.seed)
+        profile = run_bench(
+            reps=args.reps, seed=args.seed, only_phases=args.phase or None
+        )
     except (KeyError, ValueError) as exc:
         print(exc, file=sys.stderr)
         return 2

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.tasking.task import Task
-from repro.util.rng import spawn_rng
+from repro.util.rng import pooled_rng
 from repro.util.units import CACHELINE_BYTES
 
 __all__ = ["ObjectSample", "TaskProfile", "SamplingProfiler"]
@@ -160,7 +160,10 @@ class SamplingProfiler:
             if hit is not None:
                 return hit
 
-        rng = spawn_rng(self._seed, "sampler", task.name, task.type_name)
+        # Pooled: the generator is drained entirely inside this call, so
+        # recycling one object per stream key is safe and skips the
+        # bit-generator construction cost on every re-profile.
+        rng = pooled_rng(self._seed, "sampler", task.name, task.type_name)
         p = 1.0 / self.interval_cycles
         n_samp = self.n_samples(duration)
 
@@ -198,7 +201,13 @@ class SamplingProfiler:
             else:
                 mem_est = mem_true
 
-            objects[obj.uid] = ObjectSample(
+            # Direct __dict__ fill: a frozen dataclass routes every field
+            # through object.__setattr__, which more than doubles the cost
+            # of the most-constructed object in the profiler.  The field
+            # set matches the dataclass exactly and instances stay frozen
+            # to callers.
+            sample = object.__new__(ObjectSample)
+            sample.__dict__.update(
                 loads=float(est_loads),
                 stores=float(est_stores),
                 misses=float(est_misses),
@@ -206,7 +215,9 @@ class SamplingProfiler:
                 mem_active_fraction=mem_est,
                 device=devices[obj.uid],
             )
-        profile = TaskProfile(
+            objects[obj.uid] = sample
+        profile = object.__new__(TaskProfile)
+        profile.__dict__.update(
             task_name=task.name,
             type_name=task.type_name,
             duration=duration,

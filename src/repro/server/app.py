@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Any, AsyncIterator
 
 import repro
+from repro.core.knapsack import export_cache_metrics
 from repro.experiments.cache import ResultCache, get_cache
 from repro.experiments.spec import RunResult, RunSpec
 from repro.metrics.export import to_prometheus
@@ -272,6 +273,10 @@ class DigitalTwinServer:
         )
 
     async def _metrics(self, request: Request) -> Response:
+        # Scrape-time refresh: the knapsack cache counters are process
+        # globals (see export_cache_metrics), so they are pulled into the
+        # registry here rather than pushed from the planning hot path.
+        export_cache_metrics(self.registry)
         text = to_prometheus(self.registry)
         return Response(
             status=200,

@@ -62,7 +62,14 @@ class Task:
 
     @property
     def total_accesses(self) -> int:
-        return sum(a.accesses for a in self.accesses.values())
+        # Cached like exec_rows (the profiler reads this per sample pass);
+        # add_access drops it.
+        t = self.__dict__.get("_total_accesses")
+        if t is None:
+            t = self.__dict__["_total_accesses"] = sum(
+                a.accesses for a in self.accesses.values()
+            )
+        return t
 
     def access_of(self, obj: DataObject) -> ObjectAccess:
         return self.accesses[obj]
@@ -74,6 +81,7 @@ class Task:
         else:
             self.accesses[obj] = access
         self.__dict__.pop("_exec_rows", None)
+        self.__dict__.pop("_total_accesses", None)
 
     def exec_rows(self) -> tuple[tuple[DataObject, ObjectAccess, int, bool, bool], ...]:
         """Flattened access rows for the executor's dispatch loop.

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.demand import DemandBatch
 from repro.core.initial import initial_placement
 from repro.core.lookahead import estimate_start_offsets, first_use_offsets
 from repro.core.models import ObjectStats
@@ -183,8 +184,9 @@ class TestPlanning:
     def test_make_plan_respects_capacity(self, calibration_bw):
         d, n = dram(), nvm_bandwidth_scaled(0.5)
         demands = [self._demand(mem_seconds=0.5 + i * 0.1) for i in range(8)]
+        batch = DemandBatch.from_demands(demands)
         plan = make_plan(
-            "global", demands, int(16 * MIB), 0, n, d, calibration_bw, PlanConfig()
+            "global", batch, int(16 * MIB), 0, n, d, calibration_bw, PlanConfig()
         )
         chosen = sum(
             de.stats.size_bytes for de in demands if de.stats.uid in plan.dram_set
@@ -193,10 +195,10 @@ class TestPlanning:
 
     def test_benefit_scale_shrinks_selection_value(self, calibration_bw):
         d, n = dram(), nvm_bandwidth_scaled(0.5)
-        demands = [self._demand()]
-        full = make_plan("g", demands, int(64 * MIB), 0, n, d, calibration_bw, PlanConfig())
+        batch = DemandBatch.from_demands([self._demand()])
+        full = make_plan("g", batch, int(64 * MIB), 0, n, d, calibration_bw, PlanConfig())
         damped = make_plan(
-            "g", demands, int(64 * MIB), 0, n, d, calibration_bw, PlanConfig(),
+            "g", batch, int(64 * MIB), 0, n, d, calibration_bw, PlanConfig(),
             benefit_scale=0.01,
         )
         assert damped.predicted_gain < full.predicted_gain

@@ -93,6 +93,34 @@ class TestExporterPositionalIndent:
             to_json(MetricsRegistry(), 2, indent=4)
 
 
+class TestMakePlanListShim:
+    """PR 10 moved the planner onto ``DemandBatch`` columns; the
+    list-of-``ObjectDemand`` argument converts (bit-for-bit, see
+    tests/test_placement_batch.py) and warns for one release."""
+
+    def test_list_form_warns_but_works(self):
+        from repro.core.models import ObjectStats
+        from repro.core.placement import ObjectDemand, PlanConfig, make_plan
+        from repro.memory.presets import dram, nvm_bandwidth_scaled
+        from repro.profiling.calibration import calibrate
+        from repro.tasking.executor import ExecutorConfig
+
+        d, n = dram(), nvm_bandwidth_scaled(0.5)
+        calib = calibrate(d, n, ExecutorConfig(n_workers=2))
+        demands = [
+            ObjectDemand(
+                ObjectStats(uid=1, size_bytes=1 << 20, loads=1e6, misses=1e5),
+                in_dram=False,
+            )
+        ]
+        with pytest.warns(ReproDeprecationWarning, match="DemandBatch"):
+            plan = make_plan(
+                "global", demands, 64 << 20, 0, n, d, calib, PlanConfig()
+            )
+        assert plan.scope == "global"
+        assert set(plan.weights) == {1}
+
+
 class TestSchedulerRegistry:
     def test_unknown_name_suggests_close_match(self):
         with pytest.raises(KeyError, match="critical-path"):

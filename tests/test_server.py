@@ -269,6 +269,17 @@ class TestObservability:
         assert "repro_server_cache_hit_ratio" in text
         assert "repro_server_queue_depth" in text
         assert 'repro_server_requests_total{method="POST"' in text
+
+    def test_metrics_include_knapsack_cache(self, live):
+        # The run above exercised the planner, so the scrape-time refresh
+        # (export_cache_metrics) must surface the process-global solver
+        # cache counters as labelled gauges.
+        live.post("/v1/runs", {"spec": tiny_spec(seed=111).to_dict()})
+        status, text = live.get("/metrics")
+        assert status == 200
+        assert "# TYPE repro_planner_knapsack_cache gauge" in text
+        for stat in ("exact_hits", "solves", "warm_started_rows", "computed_rows"):
+            assert f'repro_planner_knapsack_cache{{stat="{stat}"}}' in text
         assert 'repro_server_run_seconds_bucket{le="+Inf",phase="execute"}' in text
 
         def value(name):
